@@ -1,0 +1,40 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures over
+the SPEC95-like suite and writes the rendered table under
+``benchmarks/results/`` (EXPERIMENTS.md records a reference run).
+
+``REPRO_BENCH_SCALE`` (default 0.5) scales workload iteration counts;
+``REPRO_BENCH_SUITE`` can restrict to ``CINT95``/``CFP95``.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+#: Workload scale used by all table benchmarks.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def workload_selection():
+    from repro.workloads.suite import workload_names
+
+    suite = os.environ.get("REPRO_BENCH_SUITE", "SPEC95")
+    return workload_names(suite)
+
+
+def write_result(filename: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / filename).write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer.
+
+    The experiments are whole-suite simulations (seconds each); classic
+    multi-round timing would multiply that for no statistical gain.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

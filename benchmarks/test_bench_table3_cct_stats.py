@@ -1,0 +1,34 @@
+"""Table 3: CCT statistics under combined flow+context profiling (§6.3).
+
+Paper shape: CCTs are bushy rather than tall (height bounded by the
+procedure count, breadth large), node counts vary by orders of
+magnitude with the vortex-like call-layer program the largest, and a
+meaningful fraction of used call sites is reached by exactly one
+intraprocedural path — where the combination equals full
+interprocedural path profiling.
+"""
+
+from benchmarks.conftest import SCALE, once, workload_selection, write_result
+from repro.experiments import cct_stats_experiment
+from repro.reporting import format_table
+from repro.workloads.suite import build_workload
+
+
+def test_table3_cct_statistics(benchmark):
+    names = workload_selection()
+    rows = once(benchmark, lambda: cct_stats_experiment(names, SCALE))
+    text = format_table(rows, title=f"Table 3: CCT statistics (scale={SCALE})")
+    write_result("table3_cct_stats.txt", text)
+
+    by_name = {r["Benchmark"]: r for r in rows}
+    for name, row in by_name.items():
+        nprocs = len(build_workload(name, SCALE).functions)
+        # Depth bounded by the number of procedures (§4.1) (+1: root).
+        assert row["Height Max"] <= nprocs + 1, name
+        assert row["Used"] <= row["Call Sites"], name
+        assert row["One Path"] is None or row["One Path"] <= row["Used"]
+        assert row["Size"] > 0 and row["Nodes"] >= 1
+
+    if "147.vortex" in by_name:
+        others = [r["Nodes"] for n, r in by_name.items() if n != "147.vortex"]
+        assert by_name["147.vortex"]["Nodes"] >= max(others)

@@ -1,0 +1,102 @@
+"""Tour of the extensions: signals, sampling, stitching, rendering.
+
+* a periodic signal handler gets its own CCT root (§4.2's note);
+* the Goldberg–Hall stack sampler (§7.2) estimates what the CCT counts
+  exactly, with unbounded storage;
+* combined flow+context profiles stitch into an interprocedural hot
+  path through one-path call sites (§6.3);
+* the CCT renders as an ASCII tree and Graphviz DOT.
+
+Run:  python examples/advanced_tour.py
+"""
+
+from repro.cct.dag import compact_dag, dag_statistics
+from repro.cct.runtime import CCTRuntime
+from repro.cct.dct import DynamicCallRecorder
+from repro.instrument.cctinstr import instrument_context
+from repro.lang import compile_source
+from repro.machine.memory import MemoryMap
+from repro.machine.vm import Machine
+from repro.profiles.interproc import stitch_hot_path
+from repro.profiles.sampling import StackSampler
+from repro.render import render_cct_ascii
+from repro.tools import PP
+
+SOURCE = """
+global journal[512];
+
+fn checkpoint(n) {
+    journal[n & 511] = n;
+    return 0;
+}
+
+fn parse(i) {
+    var j = 0; var sum = 0;
+    while (j < 6) { sum = sum + journal[(i * 5 + j) & 511]; j = j + 1; }
+    return sum;
+}
+
+fn evaluate(i) {
+    var v = parse(i);
+    if (v % 3 == 0) { return v * 2; }
+    return v + 1;
+}
+
+fn main() {
+    var i = 0; var out = 0;
+    while (i < 120) {
+        out = out + evaluate(i);
+        i = i + 1;
+    }
+    return out & 65535;
+}
+"""
+
+
+def main() -> None:
+    # --- signals: a second CCT root ----------------------------------
+    program = compile_source(SOURCE)
+    instrument_context(program)
+    runtime = CCTRuntime(MemoryMap().cct.base, collect_hw=True)
+    machine = Machine(program)
+    machine.cct_runtime = runtime
+    machine.install_signal(handler="checkpoint", period=600)
+    machine.run()
+    print(f"signals delivered: {machine.signals_delivered}")
+    print("\nCCT with the handler as an extra entry point:")
+    print(render_cct_ascii(runtime.root, metric=0))
+
+    # --- sampling vs exact counting -----------------------------------
+    program = compile_source(SOURCE)
+    sampler = StackSampler(period=16)
+    machine = Machine(program)
+    machine.tracer = sampler
+    result = machine.run()
+    shares = sampler.context_shares()
+    hottest = max(shares, key=shares.get)
+    print(
+        f"\nsampler: {len(sampler.samples)} samples, "
+        f"{sampler.storage_cells()} stack cells stored (unbounded!)\n"
+        f"hottest sampled context: {' -> '.join(hottest)} "
+        f"({100 * shares[hottest]:.0f}% of samples)"
+    )
+
+    # --- DAG compaction (the [JSB97] alternative) ----------------------
+    program = compile_source(SOURCE)
+    recorder = DynamicCallRecorder()
+    machine = Machine(program)
+    machine.tracer = recorder
+    machine.run()
+    print(f"\nDAG compaction: {dag_statistics(compact_dag(recorder.tree))}")
+
+    # --- interprocedural stitching -------------------------------------
+    program = compile_source(SOURCE)
+    run = PP().context_flow(program)
+    stitched = stitch_hot_path(run)
+    print("\nstitched interprocedural hot path")
+    print("(= exact through a one-path call site, ~ hottest-guess):")
+    print(stitched.describe())
+
+
+if __name__ == "__main__":
+    main()

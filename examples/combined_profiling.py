@@ -1,0 +1,104 @@
+"""Combined flow+context profiling: paths inside calling contexts.
+
+The paper's §4.3 combination stores each procedure's path counters in
+its CCT call record, approximating interprocedural path profiling.
+Here the same procedure (``transform``) behaves differently depending
+on its caller: batch processing drives it down the vectorized path,
+interactive use down the fallback path.  A flow-only profile mixes the
+two; the combined profile separates them per context.  The CCT is then
+serialized and reloaded, as PP writes its heap at program exit.
+
+Run:  python examples/combined_profiling.py
+"""
+
+import os
+import tempfile
+
+from repro.cct.serialize import load_cct, save_cct
+from repro.cct.stats import cct_statistics
+from repro.lang import compile_source
+from repro.reporting import format_table
+from repro.tools import PP
+
+SOURCE = """
+global buffer[2048];
+
+fn transform(i, aligned) {
+    var sum = 0;
+    if (aligned != 0) {
+        // vectorized path
+        var j = 0;
+        while (j < 16) { sum = sum + buffer[(i + j) & 2047]; j = j + 2; }
+    } else {
+        // scalar fallback path
+        var j = 0;
+        while (j < 4) { sum = sum + buffer[(i * 7 + j) & 2047]; j = j + 1; }
+    }
+    return sum;
+}
+
+fn batch(i) { return transform(i, 1); }
+fn interactive(i) { return transform(i, 0); }
+
+fn main() {
+    var i = 0; var out = 0;
+    while (i < 120) {
+        out = out + batch(i);
+        if (i % 3 == 0) { out = out + interactive(i); }
+        i = i + 1;
+    }
+    return out & 65535;
+}
+"""
+
+
+def main() -> None:
+    program = compile_source(SOURCE)
+    run = PP().context_flow(program)
+    cct = run.cct
+
+    print("transform's path profile, per calling context:")
+    rows = []
+    for record in cct.records:
+        table = record.path_tables.get("transform")
+        if table is None:
+            continue
+        context = " -> ".join(record.context()[1:])
+        numbering = run.flow.functions["transform"].numbering
+        for path_sum, count in sorted(table.counts.items()):
+            rows.append(
+                {
+                    "Context": context,
+                    "Path": numbering.regenerate(path_sum).describe()[:48],
+                    "Freq": count,
+                }
+            )
+    print(format_table(rows))
+
+    print(
+        "\nA flow-only profile would sum the two contexts; the combined "
+        "profile shows batch drives the vectorized path and interactive "
+        "the fallback."
+    )
+
+    stats = cct_statistics(cct, run.program, run.flow.functions)
+    print(
+        f"\nCall sites reached by exactly one path in their context: "
+        f"{stats.call_sites_one_path} of {stats.call_sites_used} used "
+        f"(there, flow+context equals full interprocedural path profiling)"
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "program.cct")
+        save_cct(cct, path)
+        size = os.path.getsize(path)
+        loaded = load_cct(path)
+        print(
+            f"\nserialized the CCT to {size} bytes on disk "
+            f"({cct.heap_bytes()} simulated heap bytes); reload has "
+            f"{len(loaded.records)} records"
+        )
+
+
+if __name__ == "__main__":
+    main()

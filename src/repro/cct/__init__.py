@@ -1,0 +1,56 @@
+"""The calling context tree (paper §4) and its baselines.
+
+* :mod:`repro.cct.records` — the CallRecord structure of Figure 6/7:
+  tagged callee slots (uninitialized offset / record pointer / callee
+  list) with byte-accurate sizing in the simulated CCT heap.
+* :mod:`repro.cct.runtime` — on-line CCT construction (§4.2): the
+  gCSP/lCRP protocol, ancestor search for recursion backedges,
+  move-to-front callee lists for indirect calls, per-record metric and
+  per-record path-counter storage (§4.3), and non-local-exit handling.
+* :mod:`repro.cct.dct` — the dynamic call tree and dynamic call graph
+  of Figure 4, plus the DCT->CCT projection that *defines* the CCT (the
+  vertex equivalence relation, including the recursion refinement of
+  Figure 5); tests check the on-line construction against it.
+* :mod:`repro.cct.stats` — the Table 3 statistics.
+* :mod:`repro.cct.gprof` — the gprof-style attribution the paper
+  criticizes, and Ponder–Fateman caller/callee pairs (§7.1), used to
+  demonstrate the "gprof problem" the CCT solves.
+"""
+
+from repro.cct.records import CallRecord, CCTStats
+from repro.cct.runtime import CCTRuntime
+from repro.cct.dct import (
+    DCGEdge,
+    DCTNode,
+    DynamicCallGraph,
+    DynamicCallRecorder,
+    DynamicCallTree,
+    project_cct,
+)
+from repro.cct.stats import cct_statistics, CCTStatistics
+from repro.cct.gprof import GprofProfile, PairProfile, gprof_attribution, pair_attribution
+from repro.cct.serialize import load_cct, save_cct
+from repro.cct.dag import CompactedDag, compact_dag, dag_statistics
+
+__all__ = [
+    "CCTRuntime",
+    "CompactedDag",
+    "compact_dag",
+    "dag_statistics",
+    "CCTStatistics",
+    "CCTStats",
+    "CallRecord",
+    "DCGEdge",
+    "DCTNode",
+    "DynamicCallGraph",
+    "DynamicCallRecorder",
+    "DynamicCallTree",
+    "GprofProfile",
+    "PairProfile",
+    "cct_statistics",
+    "gprof_attribution",
+    "load_cct",
+    "pair_attribution",
+    "project_cct",
+    "save_cct",
+]

@@ -1,0 +1,94 @@
+"""Bottom-up DCT compaction by hash consing: the [JSB97] baseline (§7.3).
+
+Jerding, Stasko and Ball compact a dynamic call tree into a DAG in
+which identical *subtrees* are represented once.  The paper contrasts
+this with the CCT: DAG node equivalence looks down (the subtree rooted
+at a node), CCT equivalence looks up (the path to a node).  Two
+activations with identical calling contexts may therefore map to
+different DAG nodes (their futures differ), and two activations with
+different contexts may share a DAG node (their futures coincide).
+
+Tests exhibit both separations, and the size comparison shows all
+three points on the spectrum: |DCT| >= |DAG| and |DCT| >= |CCT|, with
+neither compaction dominating the other in general.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cct.dct import DCTNode, DynamicCallTree
+
+
+class DagNode:
+    """One shared subtree; ``count`` is how many DCT subtrees it stands for."""
+
+    __slots__ = ("proc", "children", "count", "_key")
+
+    def __init__(self, proc: str, children: Tuple["DagNode", ...]):
+        self.proc = proc
+        self.children = children
+        self.count = 0
+        self._key: Optional[Tuple] = None
+
+    def subtree_size(self) -> int:
+        """Size of the represented subtree (counting shared nodes again)."""
+        return 1 + sum(child.subtree_size() for child in self.children)
+
+    def __repr__(self) -> str:
+        return f"DagNode({self.proc!r}, {len(self.children)} children, x{self.count})"
+
+
+@dataclass
+class CompactedDag:
+    root: DagNode
+    #: Distinct DAG nodes created (root excluded).
+    unique_nodes: int
+    #: Activations in the original DCT.
+    tree_size: int
+
+    @property
+    def compression(self) -> float:
+        return self.tree_size / self.unique_nodes if self.unique_nodes else 0.0
+
+
+def compact_dag(dct: DynamicCallTree) -> CompactedDag:
+    """Hash-cons the DCT bottom-up into a DAG.
+
+    Interning is iterative (post-order with an explicit stack) so deep
+    call trees cannot overflow Python's recursion limit.
+    """
+    interned: Dict[Tuple, DagNode] = {}
+    root = _intern_iterative(dct.root, interned)
+    unique = len(interned) - 1  # the root's own entry doesn't count
+    return CompactedDag(root, max(unique, 0), dct.size())
+
+
+def _intern_iterative(root: DCTNode, interned: Dict[Tuple, DagNode]) -> DagNode:
+    done: Dict[int, DagNode] = {}
+    stack: List[Tuple[DCTNode, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            children = tuple(done[id(child)] for child in node.children)
+            key = (node.proc, tuple(id(child) for child in children))
+            dag_node = interned.get(key)
+            if dag_node is None:
+                dag_node = DagNode(node.proc, children)
+                interned[key] = dag_node
+            dag_node.count += 1
+            done[id(node)] = dag_node
+        else:
+            stack.append((node, True))
+            for child in node.children:
+                stack.append((child, False))
+    return done[id(root)]
+
+
+def dag_statistics(dag: CompactedDag) -> Dict[str, object]:
+    return {
+        "DCT activations": dag.tree_size,
+        "DAG unique nodes": dag.unique_nodes,
+        "Compression": round(dag.compression, 2),
+    }

@@ -1,0 +1,105 @@
+"""Context-attribution baselines: gprof and Ponder–Fateman pairs.
+
+gprof apportions a procedure's total metric to its callers *in
+proportion to call counts* — the approximation the paper (after
+[PF88]) shows can be arbitrarily wrong: a cheap call from A and an
+expensive call from B are averaged together.  Ponder and Fateman's
+remedy measures (caller, callee) pairs directly, i.e., one level of
+context; the CCT generalizes this to complete contexts (§7.1).
+
+Both baselines are computed here from ground truth so tests and
+examples can quantify the information each one loses relative to the
+CCT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.cct.records import ROOT_ID
+from repro.cct.runtime import CCTRuntime
+
+
+@dataclass
+class GprofProfile:
+    """Per-(caller, callee) metric estimates, the gprof way."""
+
+    #: (caller, callee) -> attributed metric
+    attributed: Dict[Tuple[str, str], float]
+    #: callee -> total metric (what gprof splits up)
+    totals: Dict[str, int]
+    #: (caller, callee) -> call count
+    calls: Dict[Tuple[str, str], int]
+
+
+@dataclass
+class PairProfile:
+    """Per-(caller, callee) metrics measured directly (one context level)."""
+
+    measured: Dict[Tuple[str, str], int]
+
+
+def _walk_records(runtime: CCTRuntime):
+    for record in runtime.records:
+        if record is runtime.root:
+            continue
+        yield record
+
+
+def cct_truth(runtime: CCTRuntime, metric: int = 1) -> Dict[Tuple[str, ...], int]:
+    """Ground truth: full context -> metric, straight from the CCT."""
+    truth: Dict[Tuple[str, ...], int] = {}
+    for record in _walk_records(runtime):
+        context = tuple(record.context()[1:])  # drop the root
+        truth[context] = truth.get(context, 0) + record.metrics[metric]
+    return truth
+
+
+def gprof_attribution(runtime: CCTRuntime, metric: int = 1) -> GprofProfile:
+    """What gprof would report, reconstructed from the CCT's aggregates.
+
+    ``metric`` indexes the record metric array (1 = pic0, 2 = pic1;
+    0 is frequency).
+    """
+    totals: Dict[str, int] = {}
+    calls: Dict[Tuple[str, str], int] = {}
+    for record in _walk_records(runtime):
+        totals[record.id] = totals.get(record.id, 0) + record.metrics[metric]
+        caller = record.parent.id if record.parent is not None else ROOT_ID
+        key = (caller, record.id)
+        calls[key] = calls.get(key, 0) + record.metrics[0]
+
+    attributed: Dict[Tuple[str, str], float] = {}
+    calls_to: Dict[str, int] = {}
+    for (caller, callee), count in calls.items():
+        calls_to[callee] = calls_to.get(callee, 0) + count
+    for (caller, callee), count in calls.items():
+        total_calls = calls_to[callee]
+        share = count / total_calls if total_calls else 0.0
+        attributed[(caller, callee)] = totals.get(callee, 0) * share
+    return GprofProfile(attributed, totals, calls)
+
+
+def pair_attribution(runtime: CCTRuntime, metric: int = 1) -> PairProfile:
+    """Ponder–Fateman: measure each (caller, callee) pair directly."""
+    measured: Dict[Tuple[str, str], int] = {}
+    for record in _walk_records(runtime):
+        caller = record.parent.id if record.parent is not None else ROOT_ID
+        key = (caller, record.id)
+        measured[key] = measured.get(key, 0) + record.metrics[metric]
+    return PairProfile(measured)
+
+
+def gprof_error(runtime: CCTRuntime, metric: int = 1) -> Dict[Tuple[str, str], float]:
+    """Absolute error of gprof's estimate per (caller, callee) pair.
+
+    Zero everywhere iff every callee costs the same from all its
+    callers — the assumption gprof bakes in.
+    """
+    estimate = gprof_attribution(runtime, metric).attributed
+    truth = pair_attribution(runtime, metric).measured
+    keys = set(estimate) | set(truth)
+    return {
+        key: abs(estimate.get(key, 0.0) - truth.get(key, 0)) for key in keys
+    }

@@ -1,0 +1,329 @@
+"""On-line CCT construction (paper §4.2).
+
+The protocol, translated from the paper's SPARC implementation:
+
+* a *global callee-slot pointer* (gCSP) is set by the caller just
+  before each call to point at the slot, in the caller's call record,
+  reserved for that call site;
+* on *procedure entry* the callee loads the slot the gCSP points at.
+  Tag 0 (a record pointer for this procedure): done — the common case.
+  Tag 1 (uninitialized offset): search the caller's ancestors for a
+  record of this procedure — found means recursion, reuse it (a CCT
+  backedge); otherwise allocate and initialize a fresh record.  Tag 2
+  (a callee list): scan with move-to-front, falling back to the
+  ancestor search on a miss.  Either way, the old gCSP is saved to the
+  stack and the found record becomes the local current-record (lCRP);
+* on *procedure exit* the gCSP is restored from the stack, so calls
+  made by *uninstrumented* intermediaries still attach their callees to
+  the right instrumented ancestor;
+* non-local exits (longjmp) unwind the shadow state without
+  accumulating the interrupted intervals — the measurement limitation
+  §4.3 concedes, mitigated by the optional backedge probes.
+
+Every step issues the memory traffic the real structure would (slot
+loads/stores, record initialization, pointer chasing, list relinking)
+against the simulated CCT heap, and charges the dynamic instruction
+counts of the slow paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cct.records import ROOT_ID, CCTStats, CalleeList, CallRecord, ListNode
+from repro.instrument.tables import CounterTable, ProfilingRuntime
+from repro.machine.memory import WORD
+
+_WRAP = 1 << 32
+
+#: Frame slot where a procedure saves the caller's gCSP.
+GCSP_SLOT = 2
+
+#: Buckets for per-record hash path tables (much smaller than the
+#: global tables: one exists per calling context).
+CONTEXT_HASH_BUCKETS = 512
+
+#: Metric layout in each record: [frequency, pic0 total, pic1 total].
+METRIC_SLOTS = 3
+
+
+@dataclass
+class _ShadowEntry:
+    depth: int
+    record: CallRecord
+    saved_gcsp: Tuple[CallRecord, int]
+    pic0: int = 0
+    pic1: int = 0
+
+
+class CCTRuntime:
+    """Builds the CCT during execution; attach as ``machine.cct_runtime``.
+
+    ``collect_hw`` selects Context-and-HW mode: PIC snapshots at entry
+    (and probes), deltas accumulated at exit.  ``profiling`` links the
+    combined mode: per-record path tables are created from the specs
+    the flow pass registered.
+
+    ``by_site`` selects the space/precision trade-off of §4.1: with
+    ``True`` (the paper's implementation) each call site owns a callee
+    slot; with ``False`` every call in a procedure shares one slot, so
+    two sites calling the same procedure share a child record.  The
+    paper reports site discrimination costs a 2-3x size factor; the
+    ablation benchmark measures ours.
+    """
+
+    def __init__(
+        self,
+        cct_base: int,
+        collect_hw: bool = True,
+        profiling: Optional[ProfilingRuntime] = None,
+        by_site: bool = True,
+    ):
+        self.collect_hw = collect_hw
+        self.profiling = profiling
+        self.by_site = by_site
+        self.stats = CCTStats()
+        self._cursor = cct_base
+        self.records: List[CallRecord] = []
+        self.root = self._allocate_record(ROOT_ID, None, nslots=1)
+        self.gcsp: Tuple[CallRecord, int] = (self.root, 0)
+        self.shadow: List[_ShadowEntry] = []
+        #: Signal handlers are additional entry points (§4.2): each gets
+        #: its own root slot, so handler contexts never pollute the
+        #: interrupted code's contexts.
+        self._signal_slots: dict = {}
+        self._interrupted_gcsp: List[Tuple[CallRecord, int]] = []
+
+    # -- allocation ---------------------------------------------------------------
+
+    def _alloc_bytes(self, size: int) -> int:
+        addr = self._cursor
+        self._cursor += size
+        return addr
+
+    def heap_bytes(self) -> int:
+        """Total CCT heap consumption (Table 3's Size column)."""
+        return self._cursor - self.root.addr
+
+    def _allocate_record(
+        self, proc: str, parent: Optional[CallRecord], nslots: int
+    ) -> CallRecord:
+        if not self.by_site:
+            nslots = min(nslots, 1)
+        size = (2 + METRIC_SLOTS + nslots) * WORD
+        record = CallRecord(proc, parent, nslots, METRIC_SLOTS, self._alloc_bytes(size))
+        self.records.append(record)
+        self.stats.allocations += 1
+        return record
+
+    # -- current state -----------------------------------------------------------------
+
+    @property
+    def current_record(self) -> CallRecord:
+        return self.shadow[-1].record if self.shadow else self.root
+
+    # -- VM callbacks --------------------------------------------------------------------
+
+    def enter(self, machine, frame, instr) -> None:
+        self.stats.enters += 1
+        parent, slot_index = self.gcsp
+        slot_addr = parent.slot_addr(slot_index)
+        machine.probe_read(slot_addr)
+        slot = parent.slots[slot_index]
+        proc = instr.proc
+
+        if slot is None:
+            child = self._find_or_allocate(machine, parent, proc, instr.nslots)
+            parent.slots[slot_index] = child
+            machine.probe_write(slot_addr, child.addr)
+        elif isinstance(slot, CallRecord):
+            if slot.id == proc:
+                child = slot
+                self.stats.fast_hits += 1
+            else:
+                # A direct site observed a second callee: calls routed
+                # through an uninstrumented intermediary.  Upgrade the
+                # slot to a callee list, as for indirect sites.
+                self.stats.slot_upgrades += 1
+                upgraded = CalleeList()
+                upgraded.nodes.append(ListNode(slot, self._alloc_bytes(2 * WORD)))
+                machine.probe_write(upgraded.nodes[0].addr, slot.addr)
+                machine.charge(3)
+                parent.slots[slot_index] = upgraded
+                machine.probe_write(slot_addr, upgraded.nodes[0].addr)
+                child = self._list_lookup(
+                    machine, parent, upgraded, slot_addr, proc, instr.nslots
+                )
+        else:
+            child = self._list_lookup(
+                machine, parent, slot, slot_addr, proc, instr.nslots
+            )
+
+        # Save the caller's gCSP to the stack; the record becomes lCRP.
+        machine.probe_write(frame.base_addr + GCSP_SLOT * WORD, 0)
+        entry = _ShadowEntry(machine.depth, child, self.gcsp)
+        if self.collect_hw:
+            entry.pic0, entry.pic1 = machine.pic.read()
+            machine.charge(3)
+        self.shadow.append(entry)
+
+        # Frequency metric (paper §4.3: "simply increments a counter").
+        machine.probe_read(child.metrics_addr())
+        child.metrics[0] += 1
+        machine.probe_write(child.metrics_addr(), child.metrics[0])
+
+    def before_call(self, machine, frame, instr) -> None:
+        slot = instr.slot if self.by_site else 0
+        self.gcsp = (self.current_record, slot)
+
+    def exit(self, machine, frame, instr) -> None:
+        if not self.shadow:
+            raise RuntimeError("CCT exit with empty shadow stack")
+        entry = self.shadow.pop()
+        if entry.depth != machine.depth:
+            raise RuntimeError(
+                f"CCT exit at depth {machine.depth}, expected {entry.depth}; "
+                f"enter/exit hooks are unbalanced"
+            )
+        machine.probe_read(frame.base_addr + GCSP_SLOT * WORD)
+        self.gcsp = entry.saved_gcsp
+        if self.collect_hw:
+            self._accumulate_interval(machine, entry)
+
+    def probe(self, machine, frame, instr) -> None:
+        """Backedge counter read (§4.3): accumulate and restart interval."""
+        if not self.shadow:
+            raise RuntimeError("CCT probe with empty shadow stack")
+        entry = self.shadow[-1]
+        if self.collect_hw:
+            self._accumulate_interval(machine, entry)
+            entry.pic0, entry.pic1 = machine.pic.read()
+            machine.charge(2)
+
+    def unwind_to(self, machine, depth: int) -> None:
+        """Non-local exit: drop shadow entries for unwound frames.
+
+        The interrupted intervals are *not* accumulated (the paper's
+        acknowledged limitation for longjmp); backedge probes bound the
+        loss when enabled.
+        """
+        restored: Optional[Tuple[CallRecord, int]] = None
+        while self.shadow and self.shadow[-1].depth > depth:
+            restored = self.shadow[-1].saved_gcsp
+            self.shadow.pop()
+        if restored is not None:
+            self.gcsp = restored
+
+    # -- signals (multiple roots, §4.2) ----------------------------------------------------
+
+    def on_signal_delivery(self, machine, handler: str) -> None:
+        """Route the handler's CctEnter to its dedicated root slot."""
+        slot = self._signal_slots.get(handler)
+        if slot is None:
+            slot = len(self.root.slots)
+            self.root.slots.append(None)
+            self._signal_slots[handler] = slot
+            # Growing the root record claims another heap word.
+            self._alloc_bytes(WORD)
+        self._interrupted_gcsp.append(self.gcsp)
+        self.gcsp = (self.root, slot)
+
+    def on_signal_return(self, machine) -> None:
+        """Resume the interrupted code's slot pointer."""
+        if self._interrupted_gcsp:
+            self.gcsp = self._interrupted_gcsp.pop()
+
+    # -- slow paths ----------------------------------------------------------------------
+
+    def _list_lookup(
+        self,
+        machine,
+        parent: CallRecord,
+        callee_list: CalleeList,
+        slot_addr: int,
+        proc: str,
+        nslots: int,
+    ) -> CallRecord:
+        nodes = callee_list.nodes
+        for position, node in enumerate(nodes):
+            machine.probe_read(node.addr)
+            machine.charge(2)
+            self.stats.list_scans += 1
+            if node.record.id == proc:
+                self.stats.list_hits += 1
+                if position > 0:
+                    # Move to front: relink the predecessor and the head.
+                    nodes.insert(0, nodes.pop(position))
+                    machine.probe_write(nodes[1].addr, 0)
+                    machine.probe_write(slot_addr, node.addr)
+                    machine.charge(3)
+                return node.record
+        child = self._find_or_allocate(machine, parent, proc, nslots)
+        node = ListNode(child, self._alloc_bytes(2 * WORD))
+        nodes.insert(0, node)
+        machine.probe_write(node.addr, child.addr)
+        machine.probe_write(slot_addr, node.addr)
+        machine.charge(4)
+        return child
+
+    def _find_or_allocate(
+        self, machine, parent: CallRecord, proc: str, nslots: int
+    ) -> CallRecord:
+        """Ancestor search; reuse on recursion, else allocate (paper §4.2)."""
+        node: Optional[CallRecord] = parent
+        while node is not None:
+            machine.probe_read(node.addr)
+            machine.charge(3)
+            self.stats.ancestor_steps += 1
+            if node.id == proc:
+                self.stats.backedges_created += 1
+                return node
+            node = node.parent
+        child = self._allocate_record(proc, parent, nslots)
+        machine.probe_write(child.addr, 0)          # ID
+        machine.probe_write(child.addr + WORD, parent.addr)  # parent
+        for slot in range(nslots):                  # tagged offsets
+            machine.probe_write(child.slot_addr(slot), 0)
+        machine.charge(4 + nslots)
+        return child
+
+    def _accumulate_interval(self, machine, entry: _ShadowEntry) -> None:
+        pic0, pic1 = machine.pic.read()
+        delta0 = (pic0 - entry.pic0) % _WRAP
+        delta1 = (pic1 - entry.pic1) % _WRAP
+        record = entry.record
+        base = record.metrics_addr()
+        machine.probe_read(base + WORD)
+        record.metrics[1] += delta0
+        machine.probe_write(base + WORD, record.metrics[1])
+        machine.probe_read(base + 2 * WORD)
+        record.metrics[2] += delta1
+        machine.probe_write(base + 2 * WORD, record.metrics[2])
+        machine.charge(8)
+
+    # -- combined flow+context -----------------------------------------------------------
+
+    def path_table(self, machine, function_name: str) -> CounterTable:
+        """The current record's path table for ``function_name`` (§4.3)."""
+        record = self.current_record
+        table = record.path_tables.get(function_name)
+        if table is None:
+            if self.profiling is None or function_name not in self.profiling.specs:
+                raise RuntimeError(
+                    f"no path table spec for {function_name!r}; run the flow "
+                    f"pass with per_context=True first"
+                )
+            capacity, metric_slots, kind = self.profiling.specs[function_name]
+            table = CounterTable(
+                f"{function_name}@{record.addr:#x}",
+                ProfilingRuntime.CONTEXT_TABLE,
+                0,
+                capacity,
+                metric_slots,
+                kind,
+                buckets=CONTEXT_HASH_BUCKETS,
+            )
+            table.base = self._alloc_bytes(table.size_bytes())
+            record.path_tables[function_name] = table
+        return table

@@ -1,0 +1,121 @@
+"""CCT serialization.
+
+The paper's instrumentation writes the CCT heap to a file at program
+exit, "from which the CCT can be reconstructed".  We serialize to JSON:
+records by index, slots as tagged values, per-record path tables as
+sparse maps.  Reconstruction yields :class:`CallRecord` objects wired
+exactly as the live tree (including recursion backedges), suitable for
+all the analysis/statistics code.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.cct.records import CalleeList, CallRecord, ListNode
+from repro.cct.runtime import CCTRuntime
+from repro.instrument.tables import CounterTable, TableKind
+
+
+def _slot_json(slot, index_of: Dict[int, int]):
+    if slot is None:
+        return None
+    if isinstance(slot, CalleeList):
+        return {"list": [index_of[id(node.record)] for node in slot.nodes]}
+    return {"record": index_of[id(slot)]}
+
+
+def _table_json(table: CounterTable) -> dict:
+    return {
+        "name": table.name,
+        "capacity": table.capacity,
+        "metric_slots": table.metric_slots,
+        "kind": table.kind.value,
+        "buckets": table.buckets,
+        "counts": {str(k): v for k, v in table.counts.items()},
+        "metrics": {str(k): v for k, v in table.metrics.items()},
+    }
+
+
+def save_cct(runtime: CCTRuntime, path: str) -> None:
+    """Write the CCT (records, metrics, path tables) to ``path``."""
+    index_of = {id(record): i for i, record in enumerate(runtime.records)}
+    records = []
+    for record in runtime.records:
+        records.append(
+            {
+                "id": record.id,
+                "parent": None if record.parent is None else index_of[id(record.parent)],
+                "metrics": list(record.metrics),
+                "addr": record.addr,
+                "slots": [_slot_json(slot, index_of) for slot in record.slots],
+                "path_tables": {
+                    name: _table_json(table)
+                    for name, table in record.path_tables.items()
+                },
+            }
+        )
+    payload = {
+        "format": "repro-cct-v1",
+        "heap_bytes": runtime.heap_bytes(),
+        "root": index_of[id(runtime.root)],
+        "records": records,
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+class LoadedCCT:
+    """A reconstructed CCT: the root record plus bookkeeping."""
+
+    def __init__(self, root: CallRecord, records: List[CallRecord], heap_bytes: int):
+        self.root = root
+        self.records = records
+        self._heap_bytes = heap_bytes
+
+    def heap_bytes(self) -> int:
+        return self._heap_bytes
+
+
+def load_cct(path: str) -> LoadedCCT:
+    """Reconstruct a CCT written by :func:`save_cct`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("format") != "repro-cct-v1":
+        raise ValueError(f"{path}: not a repro CCT file")
+    raw_records = payload["records"]
+    records: List[CallRecord] = []
+    for raw in raw_records:
+        record = CallRecord(
+            raw["id"], None, len(raw["slots"]), len(raw["metrics"]), raw["addr"]
+        )
+        record.metrics = list(raw["metrics"])
+        records.append(record)
+    for record, raw in zip(records, raw_records):
+        if raw["parent"] is not None:
+            record.parent = records[raw["parent"]]
+        for index, slot in enumerate(raw["slots"]):
+            if slot is None:
+                continue
+            if "record" in slot:
+                record.slots[index] = records[slot["record"]]
+            else:
+                lst = CalleeList()
+                for child_index in slot["list"]:
+                    lst.nodes.append(ListNode(records[child_index], 0))
+                record.slots[index] = lst
+        for name, raw_table in raw["path_tables"].items():
+            table = CounterTable(
+                raw_table["name"],
+                -1,
+                0,
+                raw_table["capacity"],
+                raw_table["metric_slots"],
+                TableKind(raw_table["kind"]),
+                buckets=raw_table["buckets"],
+            )
+            table.counts = {int(k): v for k, v in raw_table["counts"].items()}
+            table.metrics = {int(k): list(v) for k, v in raw_table["metrics"].items()}
+            record.path_tables[name] = table
+    return LoadedCCT(records[payload["root"]], records, payload["heap_bytes"])

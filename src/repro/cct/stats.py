@@ -1,0 +1,174 @@
+"""CCT statistics: the columns of Table 3.
+
+Size (bytes of the CCT heap), Nodes, Avg Node Size, Avg Out Degree of
+interior nodes, Height (average over leaves and maximum), Max
+Replication (most call records for any one procedure), and Call Sites
+(total slots / used / reached by exactly one intraprocedural path).
+
+The one-path column needs combined flow+context data: per record, a
+call site counts as one-path when exactly one executed path through the
+procedure reaches it — the case where flow+context profiling is as
+precise as full interprocedural path profiling (§6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cct.records import CalleeList, CallRecord
+from repro.cct.runtime import CCTRuntime
+from repro.ir.function import Program
+from repro.ir.instructions import Kind
+
+
+@dataclass
+class CCTStatistics:
+    size_bytes: int
+    nodes: int
+    avg_node_size: float
+    avg_out_degree: float
+    height_avg: float
+    height_max: int
+    max_replication: int
+    call_sites: int
+    call_sites_used: int
+    call_sites_one_path: Optional[int]
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "Size": self.size_bytes,
+            "Nodes": self.nodes,
+            "Avg Node Size": round(self.avg_node_size, 1),
+            "Avg Out Degree": round(self.avg_out_degree, 1),
+            "Height Avg": round(self.height_avg, 1),
+            "Height Max": self.height_max,
+            "Max Replication": self.max_replication,
+            "Call Sites": self.call_sites,
+            "Used": self.call_sites_used,
+            "One Path": self.call_sites_one_path,
+        }
+
+
+def cct_statistics(
+    runtime: CCTRuntime,
+    program: Optional[Program] = None,
+    flow_functions: Optional[Dict[str, object]] = None,
+    regenerate_limit: int = 100_000,
+) -> CCTStatistics:
+    """Compute Table 3's statistics for a built CCT.
+
+    ``flow_functions`` maps function name ->
+    :class:`repro.instrument.pathinstr.FunctionPathInfo` (from the
+    combined run) and enables the One Path column; ``program`` is
+    needed with it to locate call sites within paths.
+    """
+    records = [r for r in runtime.records if r is not runtime.root]
+    if not records:
+        return CCTStatistics(runtime.heap_bytes(), 0, 0.0, 0.0, 0.0, 0, 0, 0, 0, None)
+
+    total_record_bytes = 0
+    replication: Dict[str, int] = {}
+    out_degrees: List[int] = []
+    for record in records:
+        size = record.record_bytes()
+        for slot in record.slots:
+            if isinstance(slot, CalleeList):
+                size += slot.size_bytes()
+        total_record_bytes += size
+        replication[record.id] = replication.get(record.id, 0) + 1
+        degree = sum(1 for _ in record.children())
+        if degree:
+            out_degrees.append(degree)
+
+    heights = _leaf_depths(runtime.root)
+    call_sites = sum(record.nslots for record in records)
+    call_sites_used = sum(
+        sum(1 for slot in record.slots if slot is not None) for record in records
+    )
+
+    one_path: Optional[int] = None
+    if flow_functions is not None and program is not None:
+        one_path = _one_path_sites(records, program, flow_functions, regenerate_limit)
+
+    return CCTStatistics(
+        size_bytes=runtime.heap_bytes(),
+        nodes=len(records),
+        avg_node_size=total_record_bytes / len(records),
+        avg_out_degree=(sum(out_degrees) / len(out_degrees)) if out_degrees else 0.0,
+        height_avg=(sum(heights) / len(heights)) if heights else 0.0,
+        height_max=max(heights, default=0),
+        max_replication=max(replication.values(), default=0),
+        call_sites=call_sites,
+        call_sites_used=call_sites_used,
+        call_sites_one_path=one_path,
+    )
+
+
+def _leaf_depths(root: CallRecord) -> List[int]:
+    """Depths of all leaves, walking tree edges only (backedges skipped)."""
+    depths: List[int] = []
+    stack: List[Tuple[CallRecord, int]] = [(root, 0)]
+    while stack:
+        record, depth = stack.pop()
+        children = list(record.tree_children())
+        if not children:
+            if record.parent is not None:  # the root alone doesn't count
+                depths.append(depth)
+            continue
+        for child in children:
+            stack.append((child, depth + 1))
+    return depths
+
+
+def _call_sites_per_block(program: Program, function: str) -> Dict[str, List[int]]:
+    """block name -> call-site indices the block contains."""
+    sites: Dict[str, List[int]] = {}
+    for block in program.functions[function].blocks:
+        for instr in block.instrs:
+            if instr.kind in (Kind.CALL, Kind.ICALL):
+                sites.setdefault(block.name, []).append(instr.site)
+    return sites
+
+
+def _one_path_sites(
+    records: List[CallRecord],
+    program: Program,
+    flow_functions: Dict[str, object],
+    regenerate_limit: int,
+) -> int:
+    """Count used call sites reached by exactly one executed path.
+
+    Only paths that actually executed (nonzero count in the record's
+    path table) are regenerated, so the cost is proportional to the
+    profile, not to the potential path count.
+    """
+    site_blocks_cache: Dict[str, Dict[str, List[int]]] = {}
+    path_sites_cache: Dict[Tuple[str, int], Tuple[int, ...]] = {}
+    one_path_total = 0
+    for record in records:
+        info = flow_functions.get(record.id)
+        table = record.path_tables.get(record.id)
+        if info is None or table is None:
+            continue
+        if record.id not in site_blocks_cache:
+            site_blocks_cache[record.id] = _call_sites_per_block(program, record.id)
+        by_block = site_blocks_cache[record.id]
+        paths_reaching: Dict[int, int] = {}
+        executed = [p for p, c in table.counts.items() if c > 0]
+        if len(executed) > regenerate_limit:
+            continue
+        for path_sum in executed:
+            key = (record.id, path_sum)
+            sites = path_sites_cache.get(key)
+            if sites is None:
+                path = info.numbering.regenerate(path_sum)
+                found: Set[int] = set()
+                for block in path.blocks:
+                    found.update(by_block.get(block, ()))
+                sites = tuple(sorted(found))
+                path_sites_cache[key] = sites
+            for site in sites:
+                paths_reaching[site] = paths_reaching.get(site, 0) + 1
+        one_path_total += sum(1 for n in paths_reaching.values() if n == 1)
+    return one_path_total

@@ -1,0 +1,32 @@
+"""Control-flow graphs and the analyses path profiling needs.
+
+Builds a CFG per function with a unique ENTRY (the function's first
+block) and a synthetic unique EXIT that every returning block feeds,
+exactly the normal form the paper's algorithm requires (§2).
+"""
+
+from repro.cfg.graph import ENTRY, EXIT, CFG, Edge, build_cfg
+from repro.cfg.analysis import (
+    CFGAnalysisError,
+    backedges,
+    depth_first_order,
+    dominators,
+    is_reducible,
+    natural_loop,
+    reverse_topological_order,
+)
+
+__all__ = [
+    "CFG",
+    "CFGAnalysisError",
+    "ENTRY",
+    "EXIT",
+    "Edge",
+    "backedges",
+    "build_cfg",
+    "depth_first_order",
+    "dominators",
+    "is_reducible",
+    "natural_loop",
+    "reverse_topological_order",
+]

@@ -1,0 +1,221 @@
+"""Graph analyses over CFGs: DFS, backedges, orders, dominators, loops.
+
+Backedge identification follows the paper (§2.2): a depth-first search
+from ENTRY marks an edge u->w as a backedge when w is on the current
+DFS stack (i.e., w is an ancestor of u in the DFS tree).  The cyclic->
+acyclic transform and the four path categories are all defined in terms
+of this edge set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.cfg.graph import CFG, Edge
+
+
+class CFGAnalysisError(Exception):
+    """Raised when an analysis's precondition does not hold."""
+
+
+def depth_first_order(cfg: CFG) -> List[str]:
+    """Vertices reachable from entry in DFS preorder (iterative)."""
+    order: List[str] = []
+    seen: Set[str] = set()
+    stack = [cfg.entry]
+    while stack:
+        vertex = stack.pop()
+        if vertex in seen:
+            continue
+        seen.add(vertex)
+        order.append(vertex)
+        # Reverse so the first successor is visited first.
+        for edge in reversed(cfg.succ[vertex]):
+            if edge.dst not in seen:
+                stack.append(edge.dst)
+    return order
+
+
+def backedges(cfg: CFG) -> List[Edge]:
+    """Edges whose target is a DFS ancestor of their source.
+
+    Iterative DFS with explicit colors: gray = on the current DFS
+    stack.  Deterministic because successor lists have stable order.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[str, int] = {v: WHITE for v in cfg.vertices}
+    result: List[Edge] = []
+    # Stack entries: (vertex, iterator position into succ list)
+    stack: List[Tuple[str, int]] = []
+    color[cfg.entry] = GRAY
+    stack.append((cfg.entry, 0))
+    while stack:
+        vertex, idx = stack[-1]
+        succs = cfg.succ[vertex]
+        if idx < len(succs):
+            stack[-1] = (vertex, idx + 1)
+            edge = succs[idx]
+            dst_color = color[edge.dst]
+            if dst_color == GRAY:
+                result.append(edge)
+            elif dst_color == WHITE:
+                color[edge.dst] = GRAY
+                stack.append((edge.dst, 0))
+        else:
+            color[vertex] = BLACK
+            stack.pop()
+    return result
+
+
+def reverse_topological_order(
+    cfg: CFG, exclude: FrozenSet[int] = frozenset()
+) -> List[str]:
+    """Reverse topological order of the graph minus ``exclude``-d edges.
+
+    ``exclude`` holds edge indices (typically the backedges) so the
+    remaining graph must be acyclic; raises :class:`CFGAnalysisError`
+    if a cycle survives.  Only vertices reachable from entry are
+    returned.
+    """
+    # Iterative postorder DFS; postorder of a DAG reversed is a
+    # topological order, so the postorder itself is reverse-topological.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[str, int] = {v: WHITE for v in cfg.vertices}
+    order: List[str] = []
+    stack: List[Tuple[str, int]] = []
+    color[cfg.entry] = GRAY
+    stack.append((cfg.entry, 0))
+    while stack:
+        vertex, idx = stack[-1]
+        succs = cfg.succ[vertex]
+        advanced = False
+        while idx < len(succs):
+            edge = succs[idx]
+            idx += 1
+            if edge.index in exclude:
+                continue
+            dst_color = color[edge.dst]
+            if dst_color == GRAY:
+                raise CFGAnalysisError(
+                    f"{cfg.name}: cycle through {edge.src}->{edge.dst} after "
+                    f"excluding {len(exclude)} edges"
+                )
+            if dst_color == WHITE:
+                stack[-1] = (vertex, idx)
+                color[edge.dst] = GRAY
+                stack.append((edge.dst, 0))
+                advanced = True
+                break
+        if advanced:
+            continue
+        stack[-1] = (vertex, idx)
+        if idx >= len(succs):
+            color[vertex] = BLACK
+            order.append(vertex)
+            stack.pop()
+    return order
+
+
+def dominators(cfg: CFG) -> Dict[str, Set[str]]:
+    """Dominator sets by iterative dataflow over reverse postorder.
+
+    Only vertices reachable from entry appear in the result.
+    """
+    rpo = list(reversed(_postorder(cfg)))
+    reachable = set(rpo)
+    dom: Dict[str, Set[str]] = {v: reachable.copy() for v in rpo}
+    dom[cfg.entry] = {cfg.entry}
+    changed = True
+    while changed:
+        changed = False
+        for vertex in rpo:
+            if vertex == cfg.entry:
+                continue
+            preds = [e.src for e in cfg.pred[vertex] if e.src in reachable]
+            if not preds:
+                continue
+            new = set.intersection(*(dom[p] for p in preds))
+            new.add(vertex)
+            if new != dom[vertex]:
+                dom[vertex] = new
+                changed = True
+    return dom
+
+
+def _postorder(cfg: CFG) -> List[str]:
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[str, int] = {v: WHITE for v in cfg.vertices}
+    order: List[str] = []
+    stack: List[Tuple[str, int]] = []
+    color[cfg.entry] = GRAY
+    stack.append((cfg.entry, 0))
+    while stack:
+        vertex, idx = stack[-1]
+        succs = cfg.succ[vertex]
+        if idx < len(succs):
+            stack[-1] = (vertex, idx + 1)
+            dst = succs[idx].dst
+            if color[dst] == WHITE:
+                color[dst] = GRAY
+                stack.append((dst, 0))
+        else:
+            color[vertex] = BLACK
+            order.append(vertex)
+            stack.pop()
+    return order
+
+
+def is_reducible(cfg: CFG) -> bool:
+    """True when every backedge target dominates its source.
+
+    The paper's algorithm handles irreducible CFGs too (any DFS backedge
+    set works); this predicate exists for workload statistics and tests.
+    """
+    dom = dominators(cfg)
+    for edge in backedges(cfg):
+        if edge.src not in dom:  # unreachable source
+            continue
+        if edge.dst not in dom[edge.src]:
+            return False
+    return True
+
+
+def natural_loop(cfg: CFG, backedge: Edge) -> Set[str]:
+    """Vertices of the natural loop of ``backedge`` (header included)."""
+    header = backedge.dst
+    loop: Set[str] = {header}
+    stack = [backedge.src]
+    while stack:
+        vertex = stack.pop()
+        if vertex in loop:
+            continue
+        loop.add(vertex)
+        for edge in cfg.pred[vertex]:
+            stack.append(edge.src)
+    return loop
+
+
+def reachable_to_exit(cfg: CFG) -> Set[str]:
+    """Vertices from which EXIT is reachable (reverse reachability)."""
+    seen: Set[str] = set()
+    stack = [cfg.exit]
+    while stack:
+        vertex = stack.pop()
+        if vertex in seen:
+            continue
+        seen.add(vertex)
+        for edge in cfg.pred[vertex]:
+            stack.append(edge.src)
+    return seen
+
+
+def check_single_entry_exit(cfg: CFG) -> None:
+    """Precondition of path profiling: all vertices reachable from entry
+    can reach EXIT.  Raises :class:`CFGAnalysisError` otherwise."""
+    forward = set(depth_first_order(cfg))
+    backward = reachable_to_exit(cfg)
+    stuck = forward - backward
+    if stuck:
+        raise CFGAnalysisError(
+            f"{cfg.name}: vertices cannot reach EXIT: {sorted(stuck)}"
+        )

@@ -1,0 +1,330 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``run FILE [ARGS...]`` — execute a program, print result and counters;
+* ``flow FILE`` — flow-sensitive profile: hot paths with HW metrics;
+* ``context FILE`` — context-sensitive profile: the CCT with metrics;
+* ``combined FILE`` — flow+context; optionally save the CCT;
+* ``coverage FILE`` — path coverage with untested paths;
+* ``table N`` — regenerate one of the paper's tables over the suite.
+
+``FILE`` ending in ``.asm`` is parsed as IR assembly; anything else is
+compiled as mini-language source.  Program arguments are integers
+passed to ``main``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.machine.counters import Event
+from repro.reporting import format_table
+
+
+def _load_program(path: str):
+    from repro.ir.asm import parse_program
+    from repro.lang import compile_source
+
+    with open(path) as handle:
+        text = handle.read()
+    if path.endswith(".asm"):
+        return parse_program(text)
+    return compile_source(text)
+
+
+def _int_args(values: List[str]) -> List[int]:
+    return [int(v) for v in values]
+
+
+def cmd_run(args) -> int:
+    from repro.machine.vm import Machine
+
+    program = _load_program(args.file)
+    machine = Machine(program)
+    result = machine.run(*_int_args(args.args))
+    print(f"result: {result.return_value}")
+    rows = [
+        {"Event": event.name, "Count": result[event]}
+        for event in Event
+        if result[event]
+    ]
+    print(format_table(rows, title="hardware events"))
+    return 0
+
+
+def cmd_flow(args) -> int:
+    from repro.profiles.hotpaths import classify_paths
+    from repro.tools.pp import PP
+
+    program = _load_program(args.file)
+    pp = PP(placement=args.placement)
+    base = pp.baseline(program, _int_args(args.args))
+    run = pp.flow_hw(program, _int_args(args.args))
+    print(f"result: {run.return_value}  overhead: {run.overhead_vs(base):.2f}x\n")
+
+    report = classify_paths(run.path_profile, args.threshold)
+    rows = []
+    for classified in sorted(
+        report.classified, key=lambda c: -c.entry.misses
+    )[: args.limit]:
+        entry = classified.entry
+        fpp = run.path_profile.functions[entry.function]
+        rows.append(
+            {
+                "Function": entry.function,
+                "Path": fpp.decode(entry.path_sum).describe()[:70],
+                "Freq": entry.freq,
+                "Instrs": entry.instructions,
+                "Misses": entry.misses,
+                "Class": classified.klass.value,
+            }
+        )
+    print(format_table(rows, title="paths by L1D misses"))
+    print(
+        f"\n{report.hot.num} hot paths carry "
+        f"{100 * report.hot.miss_share(report.total_misses):.1f}% of "
+        f"{report.total_misses} misses"
+    )
+    return 0
+
+
+def cmd_context(args) -> int:
+    from repro.cct.stats import cct_statistics
+    from repro.render import render_cct_ascii, render_cct_dot
+    from repro.tools.pp import PP
+
+    program = _load_program(args.file)
+    pp = PP()
+    run = pp.context_hw(
+        program,
+        _int_args(args.args),
+        read_at_backedges=args.backedge_reads,
+        by_site=not args.merge_sites,
+    )
+    if args.dot:
+        print(render_cct_dot(run.cct.root, metric=1))
+        return 0
+    if args.tree:
+        print(render_cct_ascii(run.cct.root, metric=1))
+        return 0
+    rows = []
+    for record in run.cct.records:
+        if record is run.cct.root:
+            continue
+        rows.append(
+            {
+                "Context": " -> ".join(record.context()[1:]),
+                "Calls": record.metrics[0],
+                "PIC0": record.metrics[1],
+                "PIC1": record.metrics[2],
+            }
+        )
+    rows.sort(key=lambda r: -r["PIC0"])
+    print(format_table(rows[: args.limit], title="calling context tree"))
+    stats = cct_statistics(run.cct)
+    print(
+        f"\n{stats.nodes} records, height {stats.height_max}, "
+        f"{stats.size_bytes} bytes, max replication {stats.max_replication}"
+    )
+    return 0
+
+
+def cmd_combined(args) -> int:
+    from repro.cct.serialize import save_cct
+    from repro.cct.stats import cct_statistics
+    from repro.tools.pp import PP
+
+    program = _load_program(args.file)
+    run = PP().context_flow(program, _int_args(args.args))
+    rows = []
+    for record in run.cct.records:
+        for fname, table in record.path_tables.items():
+            numbering = run.flow.functions[fname].numbering
+            for path_sum, count in sorted(table.counts.items()):
+                rows.append(
+                    {
+                        "Context": " -> ".join(record.context()[1:]),
+                        "Path": numbering.regenerate(path_sum).describe()[:48],
+                        "Freq": count,
+                    }
+                )
+    print(format_table(rows[: args.limit], title="per-context path profile"))
+    stats = cct_statistics(run.cct, run.program, run.flow.functions)
+    print(
+        f"\none-path call sites: {stats.call_sites_one_path} of "
+        f"{stats.call_sites_used} used"
+    )
+    if args.save:
+        save_cct(run.cct, args.save)
+        print(f"CCT written to {args.save}")
+    return 0
+
+
+def cmd_coverage(args) -> int:
+    from repro.profiles.spectra import path_coverage, untested_paths
+    from repro.tools.pp import PP
+
+    program = _load_program(args.file)
+    run = PP().flow_freq(program, _int_args(args.args))
+    report = path_coverage(run.path_profile)
+    print(format_table(report.rows(), title="path coverage"))
+    print(f"\noverall: {100 * report.fraction:.1f}%")
+    for name, coverage in report.functions.items():
+        if coverage.executed < coverage.potential:
+            missing = untested_paths(run.path_profile, name, limit=args.limit)
+            for path in missing:
+                print(f"  untested: {name}: {path.describe()}")
+    return 0
+
+
+def cmd_diff(args) -> int:
+    """Spectrum diff of two runs with different arguments ([RBDL97])."""
+    from repro.profiles.spectra import spectrum_diff
+    from repro.tools.pp import PP
+
+    program = _load_program(args.file)
+    pp = PP()
+    first = pp.flow_freq(program, _int_args(args.first.split(","))
+                         if args.first else ())
+    second = pp.flow_freq(program, _int_args(args.second.split(","))
+                          if args.second else ())
+    diff = spectrum_diff(first.path_profile, second.path_profile)
+    if diff.is_empty():
+        print("spectra identical: both inputs drive the same paths")
+        return 0
+    print("functions with differing path spectra:")
+    for name in diff.distinguishing_functions():
+        fpp_first = first.path_profile.functions[name]
+        for path_sum in sorted(diff.only_first.get(name, ())):
+            print(f"  {name}: only run A: {fpp_first.decode(path_sum).describe()}")
+        fpp_second = second.path_profile.functions[name]
+        for path_sum in sorted(diff.only_second.get(name, ())):
+            print(f"  {name}: only run B: {fpp_second.decode(path_sum).describe()}")
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    """Profile, apply path-guided optimizations, and re-measure."""
+    from repro.opt.cleanup import cleanup_program
+    from repro.opt.layout import profile_guided_layout
+    from repro.opt.superblock import form_superblock
+    from repro.tools.pp import PP, clone_program
+
+    program = _load_program(args.file)
+    pp = PP()
+    run_args = _int_args(args.args)
+    baseline = pp.baseline(program, run_args)
+    profiled = pp.flow_freq(program, run_args)
+
+    optimized = clone_program(program)
+    results = []
+    for name, function in optimized.functions.items():
+        fpp = profiled.path_profile.functions.get(name)
+        if fpp is None:
+            continue
+        outcome = form_superblock(function, fpp)
+        if outcome is not None:
+            results.append(outcome)
+    cleanup_program(optimized)
+    profile_guided_layout(optimized, profiled.path_profile)
+
+    after = pp.baseline(optimized, run_args)
+    assert after.return_value == baseline.return_value
+    for outcome in results:
+        print(
+            f"superblock in {outcome.function}: trace {outcome.trace} "
+            f"(freq {outcome.trace_freq}), {outcome.jumps_straightened} "
+            f"jumps straightened, +{outcome.code_growth} code"
+        )
+    speedup = baseline.cycles / after.cycles if after.cycles else 0.0
+    print(
+        f"cycles: {baseline.cycles} -> {after.cycles} "
+        f"({speedup:.3f}x), instructions: "
+        f"{baseline.result.instructions} -> {after.result.instructions}"
+    )
+    return 0
+
+
+def cmd_table(args) -> int:
+    from repro import experiments
+
+    drivers = {
+        "1": (experiments.overhead_experiment, "Table 1: overhead"),
+        "2": (experiments.perturbation_experiment, "Table 2: perturbation"),
+        "3": (experiments.cct_stats_experiment, "Table 3: CCT statistics"),
+        "4": (experiments.hot_path_experiment, "Table 4: misses by path"),
+        "5": (experiments.hot_procedure_experiment, "Table 5: misses by procedure"),
+    }
+    driver, title = drivers[args.number]
+    names = args.workloads or None
+    rows = driver(names, args.scale)
+    print(format_table(rows, title=f"{title} (scale={args.scale})"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Flow and context sensitive profiling (PLDI'97 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_program_command(name, fn, help_text):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("file", help="mini-language source or .asm file")
+        p.add_argument("args", nargs="*", help="integer arguments to main")
+        p.add_argument("--limit", type=int, default=25, help="max rows printed")
+        p.set_defaults(fn=fn)
+        return p
+
+    add_program_command("run", cmd_run, "execute and show hardware events")
+    flow = add_program_command("flow", cmd_flow, "hot paths with HW metrics")
+    flow.add_argument("--threshold", type=float, default=0.01)
+    flow.add_argument(
+        "--placement", choices=["simple", "spanning_tree"], default="spanning_tree"
+    )
+    context = add_program_command("context", cmd_context, "calling context tree")
+    context.add_argument("--backedge-reads", action="store_true")
+    context.add_argument(
+        "--merge-sites",
+        action="store_true",
+        help="site-insensitive CCT (smaller, less precise; §4.1)",
+    )
+    context.add_argument("--tree", action="store_true", help="ASCII tree")
+    context.add_argument("--dot", action="store_true", help="Graphviz DOT")
+    combined = add_program_command(
+        "combined", cmd_combined, "paths per calling context"
+    )
+    combined.add_argument("--save", help="write the CCT to this file")
+    add_program_command("coverage", cmd_coverage, "path coverage report")
+    add_program_command(
+        "optimize", cmd_optimize, "apply path-guided optimizations"
+    )
+
+    diff = sub.add_parser(
+        "diff", help="path-spectrum diff of two inputs ([RBDL97])"
+    )
+    diff.add_argument("file")
+    diff.add_argument("--first", default="", help="comma-separated args, run A")
+    diff.add_argument("--second", default="", help="comma-separated args, run B")
+    diff.set_defaults(fn=cmd_diff)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", choices=["1", "2", "3", "4", "5"])
+    table.add_argument("--scale", type=float, default=0.5)
+    table.add_argument("--workloads", nargs="*", help="subset of the suite")
+    table.set_defaults(fn=cmd_table)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

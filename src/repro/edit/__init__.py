@@ -1,0 +1,16 @@
+"""Executable editing: the EEL substitute.
+
+EEL lets a tool splice foreign code into binaries without worrying
+about instruction sets or code layout.  This package provides the same
+services for our IR: code layout (every instruction gets an address, so
+the I-cache and branch predictor see instrumentation), insertion at
+function entry / before terminators / on CFG edges (with edge
+splitting), and path-register scavenging with spill fallback —
+including the spill-induced extra loads and stores the paper calls out
+as a perturbation source (§3.2).
+"""
+
+from repro.edit.layout import Layout, assign_layout
+from repro.edit.editor import EditError, FunctionEditor
+
+__all__ = ["EditError", "FunctionEditor", "Layout", "assign_layout"]

@@ -1,0 +1,26 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each driver runs the workload suite through PP and returns row dicts
+that :mod:`repro.reporting` renders in the paper's table shapes.  The
+benchmark harness (``benchmarks/``) wraps these; ``EXPERIMENTS.md``
+records a full run.
+"""
+
+from repro.experiments.table1 import overhead_experiment
+from repro.experiments.table2 import perturbation_experiment
+from repro.experiments.table3 import cct_stats_experiment
+from repro.experiments.table4 import hot_path_experiment
+from repro.experiments.table5 import hot_procedure_experiment
+from repro.experiments.figures import figure1_report, figure4_report
+from repro.experiments.components import overhead_components_experiment
+
+__all__ = [
+    "cct_stats_experiment",
+    "figure1_report",
+    "figure4_report",
+    "hot_path_experiment",
+    "hot_procedure_experiment",
+    "overhead_components_experiment",
+    "overhead_experiment",
+    "perturbation_experiment",
+]

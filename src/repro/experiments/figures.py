@@ -1,0 +1,144 @@
+"""Figure reconstructions.
+
+* Figure 1/2: the six-path example graph, its NP/Val labelling, the
+  simple per-edge instrumentation and the optimized (spanning-tree)
+  placement.
+* Figure 4/5: a program whose DCT, DCG, and CCT match the paper's
+  shapes — procedure C retains two distinct contexts in the CCT that
+  the DCG conflates, and recursion introduces a CCT backedge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cct.dct import DynamicCallGraph, DynamicCallRecorder, project_cct
+from repro.cfg.graph import build_cfg
+from repro.ir.asm import parse_program
+from repro.machine.vm import Machine
+from repro.pathprof.estimate import estimate_edge_frequencies
+from repro.pathprof.numbering import number_paths
+from repro.pathprof.placement import plan_simple, plan_spanning_tree
+
+#: The CFG of Figure 1: A{B,C} B{C,D} C{D} D{E,F} E{F} F=exit.
+FIGURE1_ASM = """
+program entry=main
+func main(1) regs=8 {
+A:
+    cbr r0, B, C
+B:
+    cbr r0, C, D
+C:
+    br D
+D:
+    cbr r0, E, F
+E:
+    br F
+F:
+    ret r0
+}
+"""
+
+
+def figure1_report() -> Dict[str, object]:
+    """Reconstruct Figure 1: path table, edge values, both placements."""
+    program = parse_program(FIGURE1_ASM)
+    cfg = build_cfg(program.functions["main"])
+    numbering = number_paths(cfg)
+    paths = [
+        {"Path Sum": p.path_sum, "Path": "".join(p.blocks)}
+        for p in numbering.enumerate_paths()
+    ]
+    edge_values = {
+        f"{t.src}->{t.dst}": numbering.val[t.index]
+        for t in numbering.graph.edges
+    }
+    simple = plan_simple(numbering)
+    simple.check_path_sums()
+    optimized = plan_spanning_tree(numbering, estimate_edge_frequencies(cfg))
+    optimized.check_path_sums()
+    return {
+        "num_paths": numbering.num_paths,
+        "paths": paths,
+        "edge_values": edge_values,
+        "simple_increments": simple.increment_count(),
+        "optimized_increments": optimized.increment_count(),
+    }
+
+
+#: Figure 4's calling behaviour: M calls A, B(!), D; A and D both call
+#: C, so C has two calling contexts; Figure 5 adds recursion on A.
+FIGURE4_ASM = """
+program entry=M
+func M(0) regs=8 {
+entry:
+    call r0, A(1)
+    call r1, B(1)
+    call r2, D(1)
+    add r0, r0, r1
+    add r0, r0, r2
+    ret r0
+}
+func A(1) regs=8 {
+entry:
+    gt r1, r0, 0
+    cbr r1, rec, flat
+rec:
+    sub r2, r0, 1
+    call r3, A(r2)
+    add r3, r3, 1
+    ret r3
+flat:
+    call r4, B(0)
+    call r5, C(0)
+    add r4, r4, r5
+    ret r4
+}
+func B(1) regs=8 {
+entry:
+    add r1, r0, 10
+    ret r1
+}
+func C(1) regs=8 {
+entry:
+    add r1, r0, 100
+    ret r1
+}
+func D(1) regs=8 {
+entry:
+    call r1, C(1)
+    ret r1
+}
+"""
+
+
+def figure4_report() -> Dict[str, object]:
+    """Reconstruct Figure 4/5: DCT size, DCG edges, CCT contexts for C."""
+    program = parse_program(FIGURE4_ASM)
+    machine = Machine(program)
+    recorder = DynamicCallRecorder()
+    machine.tracer = recorder
+    machine.run()
+    dct = recorder.tree
+    dcg = DynamicCallGraph.from_dct(dct)
+    cct = project_cct(dct)
+
+    contexts_of_c: List[str] = []
+
+    def walk(node, trail):
+        if node.proc == "C":
+            contexts_of_c.append(" -> ".join(trail + [node.proc]))
+        for child in node.children.values():
+            if child.parent is node:  # skip backedges
+                walk(child, trail + [node.proc])
+
+    for child in cct.children.values():
+        walk(child, [])
+
+    return {
+        "dct_size": dct.size(),
+        "dcg_edges": sorted(f"{e.caller}->{e.callee}" for e in dcg.edges),
+        "cct_contexts_of_C": sorted(contexts_of_c),
+        "dcg_infeasible_path_exists": ("M->D" in {f"{e.caller}->{e.callee}" for e in dcg.edges})
+        and ("D->C" in {f"{e.caller}->{e.callee}" for e in dcg.edges}),
+    }

@@ -1,0 +1,93 @@
+"""Table 1: run-time overhead of the three profiling configurations.
+
+For every workload: the uninstrumented run time (simulated cycles
+standing in for seconds), then each instrumented configuration's time
+and its ratio to base.  The paper reports averages of 2.7/2.4/2.7x for
+CINT95 and 1.3/1.2/1.2x for CFP95; the shape to reproduce is
+*moderate, workload-dependent overhead*, branchy integer codes paying
+much more than loop-dominated FP codes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.reporting import arithmetic_mean
+from repro.tools.pp import PP
+from repro.workloads.suite import SPEC95, build_workload
+
+
+def overhead_experiment(
+    names: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    pp: Optional[PP] = None,
+) -> List[Dict[str, object]]:
+    """Rows of Table 1, plus suite-average rows."""
+    pp = pp or PP()
+    names = list(names) if names is not None else list(SPEC95)
+    rows: List[Dict[str, object]] = []
+    for name in names:
+        program = build_workload(name, scale)
+        base = pp.baseline(program)
+        flow_hw = pp.flow_hw(program)
+        context_hw = pp.context_hw(program)
+        context_flow = pp.context_flow(program)
+        for run in (flow_hw, context_hw, context_flow):
+            if run.return_value != base.return_value:
+                raise AssertionError(
+                    f"{name}: {run.label} changed the program result "
+                    f"({run.return_value!r} != {base.return_value!r})"
+                )
+        rows.append(
+            {
+                "Benchmark": name,
+                "Base Time": base.cycles,
+                "Flow+HW Time": flow_hw.cycles,
+                "Flow+HW x": round(flow_hw.overhead_vs(base), 2),
+                "Context+HW Time": context_hw.cycles,
+                "Context+HW x": round(context_hw.overhead_vs(base), 2),
+                "Context+Flow Time": context_flow.cycles,
+                "Context+Flow x": round(context_flow.overhead_vs(base), 2),
+            }
+        )
+    rows.extend(_averages(rows, names))
+    return rows
+
+
+def _averages(rows: List[Dict[str, object]], names: Sequence[str]) -> List[Dict[str, object]]:
+    groups = {
+        "CINT95 Avg": [n for n in names if SPEC95[n].suite == "CINT95"],
+        "CFP95 Avg": [n for n in names if SPEC95[n].suite == "CFP95"],
+        "SPEC95 Avg": list(names),
+    }
+    by_name = {row["Benchmark"]: row for row in rows}
+    averages = []
+    for label, members in groups.items():
+        member_rows = [by_name[n] for n in members if n in by_name]
+        if not member_rows:
+            continue
+        averages.append(
+            {
+                "Benchmark": label,
+                "Base Time": round(arithmetic_mean(r["Base Time"] for r in member_rows)),
+                "Flow+HW Time": round(
+                    arithmetic_mean(r["Flow+HW Time"] for r in member_rows)
+                ),
+                "Flow+HW x": round(
+                    arithmetic_mean(r["Flow+HW x"] for r in member_rows), 2
+                ),
+                "Context+HW Time": round(
+                    arithmetic_mean(r["Context+HW Time"] for r in member_rows)
+                ),
+                "Context+HW x": round(
+                    arithmetic_mean(r["Context+HW x"] for r in member_rows), 2
+                ),
+                "Context+Flow Time": round(
+                    arithmetic_mean(r["Context+Flow Time"] for r in member_rows)
+                ),
+                "Context+Flow x": round(
+                    arithmetic_mean(r["Context+Flow x"] for r in member_rows), 2
+                ),
+            }
+        )
+    return averages

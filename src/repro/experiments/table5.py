@@ -1,0 +1,35 @@
+"""Table 5: L1 D-cache misses by procedure.
+
+The same Flow-and-HW profile as Table 4, aggregated per procedure.
+Published shape: a handful of hot procedures (avg 11.7) cover most
+misses (avg 91%), and hot procedures execute tens of paths each
+(dense avg 34, sparse avg 63) — the argument that procedure-level
+reporting cannot isolate the behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.profiles.hotprocs import classify_procedures
+from repro.tools.pp import PP
+from repro.workloads.suite import SPEC95, build_workload
+
+
+def hot_procedure_experiment(
+    names: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    pp: Optional[PP] = None,
+    threshold: float = 0.01,
+) -> List[Dict[str, object]]:
+    pp = pp or PP()
+    names = list(names) if names is not None else list(SPEC95)
+    rows: List[Dict[str, object]] = []
+    for name in names:
+        program = build_workload(name, scale)
+        run = pp.flow_hw(program)
+        report = classify_procedures(run.path_profile, threshold)
+        row: Dict[str, object] = {"Benchmark": name}
+        row.update(report.row())
+        rows.append(row)
+    return rows

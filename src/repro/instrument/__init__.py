@@ -1,0 +1,41 @@
+"""Instrumentation passes and the profiling runtime.
+
+* :mod:`repro.instrument.tables` — counter tables (array or hash, as in
+  §2: "directly index an array of counters or be used as a key into a
+  hash table") living in the profiling memory region, plus the runtime
+  the machine calls back into.
+* :mod:`repro.instrument.pathinstr` — flow-sensitive profiling: path
+  frequency (Figure 1) or hardware metrics along paths (Figure 3).
+* :mod:`repro.instrument.edgeinstr` — the qpt-style edge-profiling
+  baseline [BL94], simple or spanning-tree optimized with count
+  reconstruction.
+* :mod:`repro.instrument.cctinstr` — context-sensitive profiling hooks
+  (procedure entry/exit/call-site, §4.2).
+"""
+
+from repro.instrument.tables import CounterTable, ProfilingRuntime, TableKind
+from repro.instrument.pathinstr import (
+    FlowInstrumentation,
+    FunctionPathInfo,
+    instrument_paths,
+)
+from repro.instrument.edgeinstr import (
+    EdgeInstrumentation,
+    instrument_edges,
+    reconstruct_edge_counts,
+)
+from repro.instrument.cctinstr import ContextInstrumentation, instrument_context
+
+__all__ = [
+    "ContextInstrumentation",
+    "CounterTable",
+    "EdgeInstrumentation",
+    "FlowInstrumentation",
+    "FunctionPathInfo",
+    "ProfilingRuntime",
+    "TableKind",
+    "instrument_context",
+    "instrument_edges",
+    "instrument_paths",
+    "reconstruct_edge_counts",
+]

@@ -1,0 +1,205 @@
+"""Flow-sensitive instrumentation: path frequency or HW metrics per path.
+
+Lowers an :class:`~repro.pathprof.placement.InstrumentationPlan` onto a
+function via the editor:
+
+* function entry: ``[HwcSave, HwcZero]`` (hw mode) then ``r = 0``;
+* plan increments: ``r += v`` on the edge (split if critical);
+* backedges: ``count[r+END]++ ; r = START`` — in hw mode the combined
+  read/accumulate/rezero sequence of Figure 3;
+* returning blocks: the commit with the exit edge's value folded in,
+  followed in hw mode by the counter restore (the paper's save-on-entry
+  / restore-before-exit choice, §3.1).
+
+In spilled mode every sequence that touches the path register is
+bracketed with the victim save/restore frame traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.cfg.graph import build_cfg
+from repro.edit.editor import FunctionEditor
+from repro.instrument.tables import CounterTable, ProfilingRuntime, TableKind
+from repro.ir.function import Function, Program
+from repro.ir.instructions import (
+    HwcAccum,
+    HwcRestore,
+    HwcSave,
+    HwcZero,
+    Instruction,
+    PathAdd,
+    PathCommit,
+    PathReset,
+)
+from repro.pathprof.estimate import estimate_edge_frequencies
+from repro.pathprof.numbering import PathNumbering, number_paths
+from repro.pathprof.placement import (
+    InstrumentationPlan,
+    plan_simple,
+    plan_spanning_tree,
+)
+
+#: Record hardware metrics per path (Flow and HW in Table 1).
+MODE_HW = "hw"
+#: Record only execution frequency per path.
+MODE_FREQ = "freq"
+
+
+@dataclass
+class FunctionPathInfo:
+    """Everything needed to interpret one function's path counters."""
+
+    function: str
+    numbering: PathNumbering
+    plan: InstrumentationPlan
+    table: Optional[CounterTable]
+    register: int
+    spilled: bool
+
+    @property
+    def num_paths(self) -> int:
+        return self.numbering.num_paths
+
+
+class FlowInstrumentation:
+    """Result of instrumenting a program for flow-sensitive profiling."""
+
+    def __init__(self, program: Program, runtime: ProfilingRuntime, mode: str):
+        self.program = program
+        self.runtime = runtime
+        self.mode = mode
+        self.functions: Dict[str, FunctionPathInfo] = {}
+
+    def path_counts(self, function: str) -> Dict[int, int]:
+        """Observed path frequencies (path sum -> count)."""
+        info = self.functions[function]
+        if info.table is None:
+            raise ValueError(
+                f"{function} uses per-context tables; read them from the CCT"
+            )
+        return info.table.nonzero()
+
+    def path_metrics(self, function: str) -> Dict[int, List[int]]:
+        """Observed per-path metric sums (path sum -> [pic0, pic1])."""
+        info = self.functions[function]
+        if info.table is None:
+            raise ValueError(
+                f"{function} uses per-context tables; read them from the CCT"
+            )
+        return dict(info.table.metrics)
+
+
+def instrument_paths(
+    program: Program,
+    mode: str = MODE_HW,
+    placement: str = "spanning_tree",
+    runtime: Optional[ProfilingRuntime] = None,
+    functions: Optional[Iterable[str]] = None,
+    per_context: bool = False,
+) -> FlowInstrumentation:
+    """Instrument ``program`` in place for flow-sensitive profiling.
+
+    ``per_context`` stores counters in the current CCT call record
+    instead of a global table (combined flow+context profiling); it
+    requires the program to also carry CCT instrumentation and the run
+    to attach a CCT runtime.
+
+    Returns the :class:`FlowInstrumentation` whose ``runtime`` must be
+    attached to the machine as ``path_runtime`` before running.
+    """
+    if mode not in (MODE_HW, MODE_FREQ):
+        raise ValueError(f"unknown mode {mode!r}")
+    if placement not in ("simple", "spanning_tree"):
+        raise ValueError(f"unknown placement {placement!r}")
+    if runtime is None:
+        from repro.machine.memory import MemoryMap
+
+        runtime = ProfilingRuntime(MemoryMap().profiling.base)
+    result = FlowInstrumentation(program, runtime, mode)
+    selected = set(functions) if functions is not None else None
+
+    metric_slots = 2 if mode == MODE_HW else 0
+    for function in program.functions.values():
+        if selected is not None and function.name not in selected:
+            continue
+        info = _instrument_function(
+            function, mode, placement, runtime, metric_slots, per_context
+        )
+        result.functions[function.name] = info
+    return result
+
+
+def _instrument_function(
+    function: Function,
+    mode: str,
+    placement: str,
+    runtime: ProfilingRuntime,
+    metric_slots: int,
+    per_context: bool,
+) -> FunctionPathInfo:
+    cfg = build_cfg(function)
+    numbering = number_paths(cfg)
+    if placement == "simple":
+        plan = plan_simple(numbering)
+    else:
+        plan = plan_spanning_tree(numbering, estimate_edge_frequencies(cfg))
+
+    editor = FunctionEditor(function, cfg)
+    scavenge = editor.scavenge_register()
+    register = scavenge.register
+
+    if per_context:
+        table = None
+        table_id = ProfilingRuntime.CONTEXT_TABLE
+        # Record the spec so the CCT runtime can size per-record tables.
+        capacity = numbering.num_paths
+        kind = TableKind.ARRAY if capacity <= 4096 else TableKind.HASH
+        runtime.specs[function.name] = (capacity, metric_slots, kind)
+    else:
+        table = runtime.new_table(
+            function.name, numbering.num_paths, metric_slots=metric_slots
+        )
+        table_id = table.table_id
+
+    def wrap(instrs: List[Instruction]) -> List[Instruction]:
+        return editor.wrap_spilled(scavenge, instrs)
+
+    entry_seq: List[Instruction] = []
+    if mode == MODE_HW:
+        entry_seq.append(HwcSave())
+        entry_seq.append(HwcZero())
+    entry_seq.extend(wrap([PathReset(register)]))
+    editor.insert_at_entry(entry_seq)
+
+    for inc in plan.increments:
+        if inc.edge.kind == "entry":
+            # The synthetic ENTRY->first edge executes exactly at
+            # function entry, after the reset.
+            editor.insert_at_entry(wrap([PathAdd(register, inc.value)]))
+        else:
+            editor.insert_on_edge(inc.edge, wrap([PathAdd(register, inc.value)]))
+
+    for bi in plan.backedge_instrs:
+        if mode == MODE_HW:
+            seq: List[Instruction] = [
+                HwcAccum(register, bi.end_val, table_id, rezero=True, reset_to=bi.start_val)
+            ]
+        else:
+            seq = [PathCommit(register, bi.end_val, table_id, reset_to=bi.start_val)]
+        editor.insert_on_edge(bi.edge, wrap(seq))
+
+    for ec in plan.exit_commits:
+        if mode == MODE_HW:
+            seq = wrap([HwcAccum(register, ec.value, table_id, rezero=False)])
+            seq.append(HwcRestore())
+        else:
+            seq = wrap([PathCommit(register, ec.value, table_id)])
+        editor.insert_before_terminator(ec.block, seq)
+
+    editor.apply()
+    return FunctionPathInfo(
+        function.name, numbering, plan, table, register, scavenge.spilled
+    )

@@ -1,0 +1,38 @@
+"""A small structured language compiled to the IR.
+
+Workloads and examples are easier to author (and to read) as
+structured source than as assembly.  The language is C-flavoured:
+
+.. code-block:: text
+
+    global table[4096];
+
+    fn probe(key) {
+        var h = (key * 31) & 4095;
+        if (table[h] == key) { return 1; }
+        return 0;
+    }
+
+    fn main() {
+        var i = 0; var hits = 0;
+        while (i < 1000) {
+            hits = hits + probe(i & 255);
+            i = i + 1;
+        }
+        return hits;
+    }
+
+Features: integer and float arithmetic, comparisons, short-circuit
+``&&``/``||``, ``if``/``else``, ``while`` with ``break``/``continue``,
+global arrays (living in the machine's globals region), functions with
+values, and direct calls.  The compiler performs name/arity checking
+and a linear-scan-free register discipline (locals pinned, expression
+temporaries stack-allocated) that keeps functions within the finite
+register file — or reports a clean error when they cannot be.
+"""
+
+from repro.lang.lexer import LangError, Token, tokenize
+from repro.lang.parser import parse_source
+from repro.lang.codegen import compile_source
+
+__all__ = ["LangError", "Token", "compile_source", "parse_source", "tokenize"]

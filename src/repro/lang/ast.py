@@ -1,0 +1,152 @@
+"""Abstract syntax for the mini language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass
+class IntLit:
+    value: int
+    line: int = 0
+
+
+@dataclass
+class FloatLit:
+    value: float
+    line: int = 0
+
+
+@dataclass
+class Name:
+    ident: str
+    line: int = 0
+
+
+@dataclass
+class Index:
+    """``array[index]`` — global array element."""
+
+    array: str
+    index: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Unary:
+    op: str  # '-' or '!'
+    operand: "Expr"
+    line: int = 0
+
+
+@dataclass
+class BinOp:
+    op: str
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Logical:
+    """Short-circuit ``&&`` / ``||``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+@dataclass
+class CallExpr:
+    callee: str
+    args: List["Expr"]
+    line: int = 0
+
+
+Expr = Union[IntLit, FloatLit, Name, Index, Unary, BinOp, Logical, CallExpr]
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass
+class VarDecl:
+    name: str
+    init: Expr
+    line: int = 0
+
+
+@dataclass
+class Assign:
+    target: Union[Name, Index]
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class If:
+    cond: Expr
+    then_body: List["Stmt"]
+    else_body: List["Stmt"]
+    line: int = 0
+
+
+@dataclass
+class While:
+    cond: Expr
+    body: List["Stmt"]
+    line: int = 0
+
+
+@dataclass
+class Return:
+    value: Optional[Expr]
+    line: int = 0
+
+
+@dataclass
+class Break:
+    line: int = 0
+
+
+@dataclass
+class Continue:
+    line: int = 0
+
+
+@dataclass
+class ExprStmt:
+    expr: Expr
+    line: int = 0
+
+
+Stmt = Union[VarDecl, Assign, If, While, Return, Break, Continue, ExprStmt]
+
+
+# -- top level -------------------------------------------------------------------
+
+
+@dataclass
+class GlobalArray:
+    name: str
+    words: int
+    line: int = 0
+
+
+@dataclass
+class FnDecl:
+    name: str
+    params: List[str]
+    body: List[Stmt]
+    line: int = 0
+
+
+@dataclass
+class Module:
+    globals: List[GlobalArray] = field(default_factory=list)
+    functions: List[FnDecl] = field(default_factory=list)

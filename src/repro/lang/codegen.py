@@ -1,0 +1,317 @@
+"""Code generation: mini-language AST -> IR.
+
+Register discipline: parameters first, then every ``var`` of the
+function (the namespace is flat, as in early C), then a stack of
+expression temporaries.  A function that cannot fit in the register
+file is rejected with a clean error — mirroring the era's compilers —
+which also guarantees the *instrumentation* is what introduces any
+spilling, as in the paper's perturbation discussion.
+
+Float arithmetic is exposed through the ``fadd``/``fsub``/``fmul``/
+``fdiv`` intrinsics (they compile to FP-unit instructions with real
+latencies); the infix operators are integer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.builder import FunctionBuilder, ProgramBuilder
+from repro.ir.function import Program
+from repro.ir.instructions import Imm
+from repro.lang import ast
+from repro.lang.lexer import LangError
+from repro.lang.parser import parse_source
+from repro.lang.sema import check_module
+from repro.machine.memory import WORD
+
+#: Must match MemoryMap's globals region base.
+GLOBALS_BASE = 0x0001_0000
+
+_BINOPS = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+    "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
+    "==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+}
+
+_FLOAT_INTRINSICS = {"fadd": "fadd", "fsub": "fsub", "fmul": "fmul", "fdiv": "fdiv"}
+
+
+class _FunctionCodegen:
+    def __init__(
+        self,
+        decl: ast.FnDecl,
+        arrays: Dict[str, int],
+        functions: Dict[str, ast.FnDecl],
+        num_regs: int,
+    ):
+        self.decl = decl
+        self.arrays = arrays
+        self.functions = functions
+        self.fb = FunctionBuilder(decl.name, num_params=len(decl.params), num_regs=num_regs)
+        self.locals: Dict[str, int] = {}
+        for index, param in enumerate(decl.params):
+            self.locals[param] = index
+        for name in _collect_locals(decl.body):
+            if name not in self.locals:
+                reg = len(self.locals)
+                if reg >= num_regs:
+                    raise LangError(
+                        f"{decl.name!r} needs more than {num_regs} registers",
+                        decl.line,
+                    )
+                self.locals[name] = reg
+        self.temp_base = len(self.locals)
+        self._free_temps: List[int] = []
+        self._next_temp = self.temp_base
+        self._labels = 0
+        self._loop_stack: List[tuple] = []
+
+    # -- registers ------------------------------------------------------------
+
+    def alloc_temp(self) -> int:
+        if self._free_temps:
+            return self._free_temps.pop()
+        reg = self._next_temp
+        if reg >= self.fb.function.num_regs:
+            raise LangError(
+                f"{self.decl.name!r}: expression too complex for the "
+                f"{self.fb.function.num_regs}-register file",
+                self.decl.line,
+            )
+        self._next_temp += 1
+        return reg
+
+    def free_temp(self, reg: int) -> None:
+        if reg >= self.temp_base:
+            self._free_temps.append(reg)
+
+    # -- labels / blocks -----------------------------------------------------------
+
+    def label(self, hint: str) -> str:
+        self._labels += 1
+        return f"{hint}{self._labels}"
+
+    def terminated(self) -> bool:
+        current = self.fb._current
+        if current is None or not current.instrs:
+            return False
+        from repro.ir.instructions import is_terminator
+
+        return is_terminator(current.instrs[-1])
+
+    def branch_to(self, target: str) -> None:
+        if not self.terminated():
+            self.fb.br(target)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def gen_expr(self, expr: ast.Expr) -> int:
+        """Emit code computing ``expr``; returns the register holding it.
+
+        Caller frees the register through :meth:`free_temp` (a no-op
+        when the value sits in a local/param).
+        """
+        fb = self.fb
+        if isinstance(expr, (ast.IntLit, ast.FloatLit)):
+            dst = self.alloc_temp()
+            fb.const(expr.value, dst=dst)
+            return dst
+        if isinstance(expr, ast.Name):
+            return self.locals[expr.ident]
+        if isinstance(expr, ast.Index):
+            addr = self.gen_address(expr)
+            dst = self.alloc_temp()
+            fb.load(addr, 0, dst=dst)
+            self.free_temp(addr)
+            return dst
+        if isinstance(expr, ast.Unary):
+            operand = self.gen_expr(expr.operand)
+            dst = self.alloc_temp()
+            if expr.op == "-":
+                fb.const(0, dst=dst)
+                fb.binop("sub", dst, operand, dst=dst)
+            else:  # '!'
+                fb.binop("eq", operand, Imm(0), dst=dst)
+            self.free_temp(operand)
+            return dst
+        if isinstance(expr, ast.BinOp):
+            left = self.gen_expr(expr.left)
+            right = self.gen_expr(expr.right)
+            dst = self.alloc_temp()
+            fb.binop(_BINOPS[expr.op], left, right, dst=dst)
+            self.free_temp(left)
+            self.free_temp(right)
+            return dst
+        if isinstance(expr, ast.Logical):
+            return self.gen_logical(expr)
+        if isinstance(expr, ast.CallExpr):
+            if expr.callee in _FLOAT_INTRINSICS:
+                left = self.gen_expr(expr.args[0])
+                right = self.gen_expr(expr.args[1])
+                dst = self.alloc_temp()
+                fb.fbinop(_FLOAT_INTRINSICS[expr.callee], left, right, dst=dst)
+                self.free_temp(left)
+                self.free_temp(right)
+                return dst
+            args = [self.gen_expr(arg) for arg in expr.args]
+            dst = self.alloc_temp()
+            fb.call(expr.callee, list(args), dst=dst)
+            for arg in args:
+                self.free_temp(arg)
+            return dst
+        raise LangError(f"unhandled expression {expr!r}", getattr(expr, "line", 0))
+
+    def gen_address(self, index: ast.Index) -> int:
+        """Address of a global array element, in a temp register."""
+        base = self.arrays[index.array]
+        reg = self.gen_expr(index.index)
+        addr = self.alloc_temp()
+        self.fb.binop("mul", reg, Imm(WORD), dst=addr)
+        self.fb.binop("add", addr, Imm(GLOBALS_BASE + base * WORD), dst=addr)
+        self.free_temp(reg)
+        return addr
+
+    def gen_logical(self, expr: ast.Logical) -> int:
+        fb = self.fb
+        result = self.alloc_temp()
+        rhs_label = self.label("L")
+        short_label = self.label("L")
+        join_label = self.label("L")
+        left = self.gen_expr(expr.left)
+        if expr.op == "&&":
+            fb.cbr(left, rhs_label, short_label)
+            short_value = 0
+        else:
+            fb.cbr(left, short_label, rhs_label)
+            short_value = 1
+        self.free_temp(left)
+        fb.block(rhs_label)
+        right = self.gen_expr(expr.right)
+        fb.binop("ne", right, Imm(0), dst=result)
+        self.free_temp(right)
+        fb.br(join_label)
+        fb.block(short_label)
+        fb.const(short_value, dst=result)
+        fb.br(join_label)
+        fb.block(join_label)
+        return result
+
+    # -- statements ------------------------------------------------------------------
+
+    def gen_body(self, body: List[ast.Stmt]) -> None:
+        for stmt in body:
+            if self.terminated():
+                return  # dead code after return/break/continue
+            self.gen_stmt(stmt)
+
+    def gen_stmt(self, stmt: ast.Stmt) -> None:
+        fb = self.fb
+        if isinstance(stmt, ast.VarDecl):
+            value = self.gen_expr(stmt.init)
+            fb.move(self.locals[stmt.name], value)
+            self.free_temp(value)
+        elif isinstance(stmt, ast.Assign):
+            if isinstance(stmt.target, ast.Name):
+                value = self.gen_expr(stmt.value)
+                fb.move(self.locals[stmt.target.ident], value)
+                self.free_temp(value)
+            else:
+                addr = self.gen_address(stmt.target)
+                value = self.gen_expr(stmt.value)
+                fb.store(value, addr, 0)
+                self.free_temp(value)
+                self.free_temp(addr)
+        elif isinstance(stmt, ast.If):
+            then_label = self.label("then")
+            else_label = self.label("else") if stmt.else_body else None
+            join_label = self.label("join")
+            cond = self.gen_expr(stmt.cond)
+            fb.cbr(cond, then_label, else_label or join_label)
+            self.free_temp(cond)
+            fb.block(then_label)
+            self.gen_body(stmt.then_body)
+            self.branch_to(join_label)
+            if else_label is not None:
+                fb.block(else_label)
+                self.gen_body(stmt.else_body)
+                self.branch_to(join_label)
+            fb.block(join_label)
+        elif isinstance(stmt, ast.While):
+            head_label = self.label("head")
+            body_label = self.label("body")
+            exit_label = self.label("exit")
+            fb.br(head_label)
+            fb.block(head_label)
+            cond = self.gen_expr(stmt.cond)
+            fb.cbr(cond, body_label, exit_label)
+            self.free_temp(cond)
+            fb.block(body_label)
+            self._loop_stack.append((head_label, exit_label))
+            self.gen_body(stmt.body)
+            self._loop_stack.pop()
+            self.branch_to(head_label)
+            fb.block(exit_label)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                fb.ret(Imm(0))
+            else:
+                value = self.gen_expr(stmt.value)
+                fb.ret(value)
+                self.free_temp(value)
+        elif isinstance(stmt, ast.Break):
+            fb.br(self._loop_stack[-1][1])
+        elif isinstance(stmt, ast.Continue):
+            fb.br(self._loop_stack[-1][0])
+        elif isinstance(stmt, ast.ExprStmt):
+            value = self.gen_expr(stmt.expr)
+            self.free_temp(value)
+        else:
+            raise LangError(f"unhandled statement {stmt!r}", getattr(stmt, "line", 0))
+
+    # -- driver -----------------------------------------------------------------------
+
+    def generate(self):
+        self.fb.block("entry")
+        self.gen_body(self.decl.body)
+        if not self.terminated():
+            self.fb.ret(Imm(0))
+        return self.fb
+
+
+def _collect_locals(body: List[ast.Stmt]) -> List[str]:
+    names: List[str] = []
+
+    def walk(stmts: List[ast.Stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.VarDecl):
+                names.append(stmt.name)
+            elif isinstance(stmt, ast.If):
+                walk(stmt.then_body)
+                walk(stmt.else_body)
+            elif isinstance(stmt, ast.While):
+                walk(stmt.body)
+
+    walk(body)
+    return names
+
+
+def compile_source(source: str, num_regs: int = 32) -> Program:
+    """Compile mini-language source to a validated IR program."""
+    module = parse_source(source)
+    check_module(module)
+
+    arrays: Dict[str, int] = {}
+    offset = 0
+    for declaration in module.globals:
+        arrays[declaration.name] = offset
+        offset += declaration.words
+
+    functions = {fn.name: fn for fn in module.functions}
+    pb = ProgramBuilder(entry="main")
+    for declaration in module.functions:
+        codegen = _FunctionCodegen(declaration, arrays, functions, num_regs)
+        pb.add(codegen.generate())
+    program = pb.finish(validate=True)
+    program.globals_size = offset
+    return program

@@ -1,0 +1,64 @@
+"""Lexer for the mini language."""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+
+class LangError(Exception):
+    """Any front-end error, tagged with a source line."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+
+
+KEYWORDS = frozenset(
+    {"fn", "var", "global", "if", "else", "while", "return", "break", "continue"}
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r]+)
+  | (?P<comment>//[^\n]*|\#[^\n]*)
+  | (?P<newline>\n)
+  | (?P<float>\d+\.\d+(?:[eE][-+]?\d+)?)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|==|!=|&&|\|\||<<|>>|[-+*/%&|^<>!=])
+  | (?P<punct>[(){}\[\],;])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize; keywords become their own kinds."""
+    tokens: List[Token] = []
+    line = 1
+    pos = 0
+    length = len(source)
+    while pos < length:
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise LangError(f"unexpected character {source[pos]!r}", line)
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "newline":
+            line += 1
+            continue
+        if kind in ("ws", "comment"):
+            continue
+        text = match.group()
+        if kind == "ident" and text in KEYWORDS:
+            kind = text
+        tokens.append(Token(kind, text, line))
+    tokens.append(Token("eof", "", line))
+    return tokens

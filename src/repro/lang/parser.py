@@ -1,0 +1,226 @@
+"""Recursive-descent parser with precedence-climbing expressions."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang import ast
+from repro.lang.lexer import LangError, Token, tokenize
+
+#: Binary operator precedence (higher binds tighter).  ``&&``/``||``
+#: are handled separately for short-circuiting.
+_PRECEDENCE = {
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+_LOGICAL = {"||": 1, "&&": 2}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.next()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text if text is not None else kind
+            raise LangError(f"expected {want!r}, found {token.text!r}", token.line)
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.next()
+        return None
+
+    # -- top level ---------------------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        module = ast.Module()
+        while self.peek().kind != "eof":
+            token = self.peek()
+            if token.kind == "global":
+                module.globals.append(self.parse_global())
+            elif token.kind == "fn":
+                module.functions.append(self.parse_fn())
+            else:
+                raise LangError(
+                    f"expected 'fn' or 'global', found {token.text!r}", token.line
+                )
+        return module
+
+    def parse_global(self) -> ast.GlobalArray:
+        line = self.expect("global").line
+        name = self.expect("ident").text
+        self.expect("punct", "[")
+        words = int(self.expect("int").text)
+        self.expect("punct", "]")
+        self.expect("punct", ";")
+        return ast.GlobalArray(name, words, line)
+
+    def parse_fn(self) -> ast.FnDecl:
+        line = self.expect("fn").line
+        name = self.expect("ident").text
+        self.expect("punct", "(")
+        params: List[str] = []
+        if not self.accept("punct", ")"):
+            while True:
+                params.append(self.expect("ident").text)
+                if self.accept("punct", ")"):
+                    break
+                self.expect("punct", ",")
+        body = self.parse_block()
+        return ast.FnDecl(name, params, body, line)
+
+    # -- statements -----------------------------------------------------------------
+
+    def parse_block(self) -> List[ast.Stmt]:
+        self.expect("punct", "{")
+        stmts: List[ast.Stmt] = []
+        while not self.accept("punct", "}"):
+            stmts.append(self.parse_stmt())
+        return stmts
+
+    def parse_stmt(self) -> ast.Stmt:
+        token = self.peek()
+        if token.kind == "var":
+            self.next()
+            name = self.expect("ident").text
+            self.expect("op", "=")
+            init = self.parse_expr()
+            self.expect("punct", ";")
+            return ast.VarDecl(name, init, token.line)
+        if token.kind == "if":
+            self.next()
+            self.expect("punct", "(")
+            cond = self.parse_expr()
+            self.expect("punct", ")")
+            then_body = self.parse_block()
+            else_body: List[ast.Stmt] = []
+            if self.accept("else"):
+                if self.peek().kind == "if":
+                    else_body = [self.parse_stmt()]
+                else:
+                    else_body = self.parse_block()
+            return ast.If(cond, then_body, else_body, token.line)
+        if token.kind == "while":
+            self.next()
+            self.expect("punct", "(")
+            cond = self.parse_expr()
+            self.expect("punct", ")")
+            body = self.parse_block()
+            return ast.While(cond, body, token.line)
+        if token.kind == "return":
+            self.next()
+            value: Optional[ast.Expr] = None
+            if not (self.peek().kind == "punct" and self.peek().text == ";"):
+                value = self.parse_expr()
+            self.expect("punct", ";")
+            return ast.Return(value, token.line)
+        if token.kind == "break":
+            self.next()
+            self.expect("punct", ";")
+            return ast.Break(token.line)
+        if token.kind == "continue":
+            self.next()
+            self.expect("punct", ";")
+            return ast.Continue(token.line)
+        # Assignment or expression statement.
+        expr = self.parse_expr()
+        if self.accept("op", "="):
+            if not isinstance(expr, (ast.Name, ast.Index)):
+                raise LangError("invalid assignment target", token.line)
+            value = self.parse_expr()
+            self.expect("punct", ";")
+            return ast.Assign(expr, value, token.line)
+        self.expect("punct", ";")
+        return ast.ExprStmt(expr, token.line)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_logical(0)
+
+    def _parse_logical(self, min_prec: int) -> ast.Expr:
+        left = self._parse_binary(0)
+        while True:
+            token = self.peek()
+            if token.kind != "op" or token.text not in _LOGICAL:
+                return left
+            prec = _LOGICAL[token.text]
+            if prec < min_prec:
+                return left
+            self.next()
+            right = self._parse_logical(prec + 1)
+            left = ast.Logical(token.text, left, right, token.line)
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind != "op" or token.text not in _PRECEDENCE:
+                return left
+            prec = _PRECEDENCE[token.text]
+            if prec < min_prec:
+                return left
+            self.next()
+            right = self._parse_binary(prec + 1)
+            left = ast.BinOp(token.text, left, right, token.line)
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "op" and token.text in ("-", "!"):
+            self.next()
+            return ast.Unary(token.text, self.parse_unary(), token.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        token = self.next()
+        if token.kind == "int":
+            return ast.IntLit(int(token.text), token.line)
+        if token.kind == "float":
+            return ast.FloatLit(float(token.text), token.line)
+        if token.kind == "punct" and token.text == "(":
+            inner = self.parse_expr()
+            self.expect("punct", ")")
+            return inner
+        if token.kind == "ident":
+            nxt = self.peek()
+            if nxt.kind == "punct" and nxt.text == "(":
+                self.next()
+                args: List[ast.Expr] = []
+                if not self.accept("punct", ")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if self.accept("punct", ")"):
+                            break
+                        self.expect("punct", ",")
+                return ast.CallExpr(token.text, args, token.line)
+            if nxt.kind == "punct" and nxt.text == "[":
+                self.next()
+                index = self.parse_expr()
+                self.expect("punct", "]")
+                return ast.Index(token.text, index, token.line)
+            return ast.Name(token.text, token.line)
+        raise LangError(f"unexpected token {token.text!r}", token.line)
+
+
+def parse_source(source: str) -> ast.Module:
+    """Parse mini-language source into a module AST."""
+    return Parser(tokenize(source)).parse_module()

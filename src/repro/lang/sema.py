@@ -1,0 +1,138 @@
+"""Semantic checks: names, arity, assignment targets, break placement."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.lang import ast
+from repro.lang.lexer import LangError
+
+#: FP intrinsics (compiled to FP-unit instructions by codegen).
+_INTRINSICS = frozenset({"fadd", "fsub", "fmul", "fdiv"})
+
+
+def check_module(module: ast.Module) -> None:
+    """Raise :class:`LangError` on the first semantic violation."""
+    arrays: Dict[str, ast.GlobalArray] = {}
+    for declaration in module.globals:
+        if declaration.name in arrays:
+            raise LangError(
+                f"duplicate global {declaration.name!r}", declaration.line
+            )
+        if declaration.words <= 0:
+            raise LangError(
+                f"global {declaration.name!r} must have positive size",
+                declaration.line,
+            )
+        arrays[declaration.name] = declaration
+
+    functions: Dict[str, ast.FnDecl] = {}
+    for function in module.functions:
+        if function.name in functions:
+            raise LangError(f"duplicate function {function.name!r}", function.line)
+        if function.name in arrays:
+            raise LangError(
+                f"{function.name!r} is both a global and a function", function.line
+            )
+        if len(set(function.params)) != len(function.params):
+            raise LangError(
+                f"duplicate parameter in {function.name!r}", function.line
+            )
+        functions[function.name] = function
+
+    if "main" not in functions:
+        raise LangError("no 'main' function", 0)
+
+    for function in module.functions:
+        _check_function(function, arrays, functions)
+
+
+def _check_function(
+    function: ast.FnDecl,
+    arrays: Dict[str, ast.GlobalArray],
+    functions: Dict[str, ast.FnDecl],
+) -> None:
+    scope: Set[str] = set(function.params)
+
+    def check_expr(expr: ast.Expr) -> None:
+        if isinstance(expr, (ast.IntLit, ast.FloatLit)):
+            return
+        if isinstance(expr, ast.Name):
+            if expr.ident not in scope:
+                raise LangError(
+                    f"undefined variable {expr.ident!r} in {function.name!r}",
+                    expr.line,
+                )
+            return
+        if isinstance(expr, ast.Index):
+            if expr.array not in arrays:
+                raise LangError(
+                    f"undefined global array {expr.array!r}", expr.line
+                )
+            check_expr(expr.index)
+            return
+        if isinstance(expr, ast.Unary):
+            check_expr(expr.operand)
+            return
+        if isinstance(expr, (ast.BinOp, ast.Logical)):
+            check_expr(expr.left)
+            check_expr(expr.right)
+            return
+        if isinstance(expr, ast.CallExpr):
+            if expr.callee in _INTRINSICS:
+                if len(expr.args) != 2:
+                    raise LangError(
+                        f"intrinsic {expr.callee!r} takes 2 args", expr.line
+                    )
+                for arg in expr.args:
+                    check_expr(arg)
+                return
+            callee = functions.get(expr.callee)
+            if callee is None:
+                raise LangError(f"undefined function {expr.callee!r}", expr.line)
+            if len(expr.args) != len(callee.params):
+                raise LangError(
+                    f"{expr.callee!r} takes {len(callee.params)} args, "
+                    f"got {len(expr.args)}",
+                    expr.line,
+                )
+            for arg in expr.args:
+                check_expr(arg)
+            return
+        raise LangError(f"unhandled expression {expr!r}", getattr(expr, "line", 0))
+
+    def check_body(body: List[ast.Stmt], in_loop: bool) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.VarDecl):
+                check_expr(stmt.init)
+                scope.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                if isinstance(stmt.target, ast.Name):
+                    if stmt.target.ident not in scope:
+                        raise LangError(
+                            f"assignment to undeclared {stmt.target.ident!r}",
+                            stmt.line,
+                        )
+                else:
+                    check_expr(stmt.target)
+                check_expr(stmt.value)
+            elif isinstance(stmt, ast.If):
+                check_expr(stmt.cond)
+                check_body(stmt.then_body, in_loop)
+                check_body(stmt.else_body, in_loop)
+            elif isinstance(stmt, ast.While):
+                check_expr(stmt.cond)
+                check_body(stmt.body, True)
+            elif isinstance(stmt, ast.Return):
+                if stmt.value is not None:
+                    check_expr(stmt.value)
+            elif isinstance(stmt, (ast.Break, ast.Continue)):
+                if not in_loop:
+                    kind = "break" if isinstance(stmt, ast.Break) else "continue"
+                    raise LangError(f"{kind} outside a loop", stmt.line)
+            elif isinstance(stmt, ast.ExprStmt):
+                check_expr(stmt.expr)
+            else:
+                raise LangError(f"unhandled statement {stmt!r}", getattr(stmt, "line", 0))
+
+    check_body(function.body, False)

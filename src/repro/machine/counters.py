@@ -1,0 +1,116 @@
+"""Hardware event counters and the two PIC registers.
+
+The machine counts sixteen events unconditionally (the "ground truth"
+bank an external sampler could observe, which is how the paper measures
+uninstrumented baselines).  Programs can only observe events through
+the two 32-bit PIC registers, each mapped to one event, with wraparound
+— the constraint that drives the paper's decision to measure short
+acyclic paths (§3.3) and to read-after-write when zeroing (§3.1).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Dict, List, Tuple
+
+_WRAP = 1 << 32
+
+
+class Event(IntEnum):
+    """The sixteen countable events (UltraSPARC-inspired)."""
+
+    CYCLES = 0
+    INSTRS = 1
+    DC_READ = 2
+    DC_WRITE = 3
+    DC_READ_MISS = 4
+    DC_WRITE_MISS = 5
+    DC_MISS = 6          # read + write misses combined
+    IC_REF = 7
+    IC_MISS = 8
+    BRANCHES = 9
+    BR_TAKEN = 10
+    BR_MISPRED = 11
+    SB_STALL = 12        # cycles stalled on a full store buffer
+    FP_STALL = 13        # cycles stalled on FP latency
+    LOADS = 14
+    STORES = 15
+
+
+NUM_EVENTS = len(Event)
+
+
+class CounterBank:
+    """The free-running 64-bit event counters (ground truth).
+
+    Stored as a plain list indexed by :class:`Event` so the interpreter
+    can increment with one indexed add.
+    """
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * NUM_EVENTS
+
+    def snapshot(self) -> Dict[Event, int]:
+        return {event: self.counts[event] for event in Event}
+
+    def __getitem__(self, event: Event) -> int:
+        return self.counts[event]
+
+    def diff(self, earlier: Dict[Event, int]) -> Dict[Event, int]:
+        return {event: self.counts[event] - earlier[event] for event in Event}
+
+
+class PicRegisters:
+    """The two programmable counters a program can actually read.
+
+    Each PIC register shows ``(event_count - base) mod 2**32`` where
+    ``base`` was latched by the last write.  ``write_zero`` models the
+    UltraSPARC sequence: the write does not take effect for subsequent
+    instructions until a read completes (the simulator exposes this as
+    :attr:`pending_read` which :meth:`confirm` clears; the HwcZero
+    pseudo-instruction always performs the confirming read, and tests
+    assert the flag never leaks).
+    """
+
+    __slots__ = ("bank", "pic0_event", "pic1_event", "_base0", "_base1", "pending_read")
+
+    def __init__(
+        self,
+        bank: CounterBank,
+        pic0_event: Event = Event.INSTRS,
+        pic1_event: Event = Event.DC_MISS,
+    ) -> None:
+        self.bank = bank
+        self.pic0_event = pic0_event
+        self.pic1_event = pic1_event
+        self._base0 = 0
+        self._base1 = 0
+        self.pending_read = False
+
+    def configure(self, pic0_event: Event, pic1_event: Event) -> None:
+        """Select which events the two PICs observe (privileged op)."""
+        self.pic0_event = pic0_event
+        self.pic1_event = pic1_event
+        self._base0 = self.bank.counts[pic0_event]
+        self._base1 = self.bank.counts[pic1_event]
+
+    def read(self) -> Tuple[int, int]:
+        """One instruction reads both 32-bit counters (rd %pic)."""
+        self.pending_read = False
+        pic0 = (self.bank.counts[self.pic0_event] - self._base0) % _WRAP
+        pic1 = (self.bank.counts[self.pic1_event] - self._base1) % _WRAP
+        return pic0, pic1
+
+    def write_zero(self) -> None:
+        """Zero both counters; requires a confirming read (§3.1)."""
+        self._base0 = self.bank.counts[self.pic0_event]
+        self._base1 = self.bank.counts[self.pic1_event]
+        self.pending_read = True
+
+    def write_values(self, pic0: int, pic1: int) -> None:
+        """Restore previously saved counter readings (used by HwcRestore)."""
+        self._base0 = (self.bank.counts[self.pic0_event] - pic0) % _WRAP
+        self._base1 = (self.bank.counts[self.pic1_event] - pic1) % _WRAP
+        self.pending_read = True

@@ -1,0 +1,118 @@
+"""A reference interpreter: semantics only, no performance model.
+
+An independent, deliberately simple implementation of the IR's
+semantics (recursive, dictionary-registers, no caches, no counters,
+no instrumentation support).  It exists purely for differential
+testing: the cost-modelling VM in :mod:`repro.machine.vm` must compute
+the same values on every program the reference can run — if the two
+ever disagree, the bug is in whichever interpreter took the shortcut.
+
+Unsupported on purpose (the reference refuses rather than guesses):
+instrumentation pseudo-instructions, setjmp/longjmp, and signals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.ir.function import Function, Program
+from repro.ir.instructions import BINARY_OPS, FLOAT_OPS, Imm, Kind
+
+Value = Union[int, float]
+
+
+class ReferenceError(Exception):
+    """The reference interpreter cannot (or refuses to) run this."""
+
+
+class ReferenceInterpreter:
+    """Evaluate a program by structural recursion over blocks."""
+
+    def __init__(self, program: Program, max_steps: int = 5_000_000):
+        self.program = program
+        self.memory: Dict[int, Value] = {}
+        self._heap_next = 0x0100_0000
+        self.max_steps = max_steps
+        self._steps = 0
+
+    def run(self, *args: Value) -> Value:
+        entry = self.program.functions.get(self.program.entry)
+        if entry is None:
+            raise ReferenceError(f"no entry {self.program.entry!r}")
+        if len(args) != entry.num_params:
+            raise ReferenceError("argument count mismatch")
+        return self._call(entry, list(args))
+
+    # -- internals ------------------------------------------------------------
+
+    def _call(self, function: Function, args: List[Value]) -> Value:
+        regs: Dict[int, Value] = {i: v for i, v in enumerate(args)}
+        for i in range(function.num_regs):
+            regs.setdefault(i, 0)
+        block = function.entry
+        index = 0
+        while True:
+            self._steps += 1
+            if self._steps > self.max_steps:
+                raise ReferenceError("step budget exceeded")
+            instr = block.instrs[index]
+            index += 1
+            kind = instr.kind
+            if kind == Kind.CONST:
+                regs[instr.dst] = instr.value
+            elif kind == Kind.MOVE:
+                regs[instr.dst] = regs[instr.src]
+            elif kind == Kind.BINOP:
+                regs[instr.dst] = BINARY_OPS[instr.op](
+                    regs[instr.a], self._operand(regs, instr.b)
+                )
+            elif kind == Kind.FBINOP:
+                regs[instr.dst] = FLOAT_OPS[instr.op](
+                    regs[instr.a], self._operand(regs, instr.b)
+                )
+            elif kind == Kind.LOAD:
+                regs[instr.dst] = self.memory.get(regs[instr.base] + instr.offset, 0)
+            elif kind == Kind.STORE:
+                self.memory[regs[instr.base] + instr.offset] = self._operand(
+                    regs, instr.src
+                )
+            elif kind == Kind.ALLOC:
+                size = self._operand(regs, instr.size)
+                regs[instr.dst] = self._heap_next
+                self._heap_next += size * 8
+            elif kind == Kind.BR:
+                block = function.block(instr.target)
+                index = 0
+            elif kind == Kind.CBR:
+                target = instr.then if regs[instr.cond] != 0 else instr.els
+                block = function.block(target)
+                index = 0
+            elif kind == Kind.CALL:
+                callee = self.program.functions[instr.callee]
+                value = self._call(
+                    callee, [self._operand(regs, a) for a in instr.args]
+                )
+                if instr.dst is not None:
+                    regs[instr.dst] = value
+            elif kind == Kind.ICALL:
+                findex = regs[instr.func]
+                callee = self.program.functions[self.program.function_table[findex]]
+                value = self._call(
+                    callee, [self._operand(regs, a) for a in instr.args]
+                )
+                if instr.dst is not None:
+                    regs[instr.dst] = value
+            elif kind == Kind.RET:
+                if instr.value is None:
+                    return 0
+                return self._operand(regs, instr.value)
+            else:
+                raise ReferenceError(
+                    f"reference interpreter does not support {kind!r}"
+                )
+
+    @staticmethod
+    def _operand(regs: Dict[int, Value], operand) -> Value:
+        if operand.__class__ is Imm:
+            return operand.value
+        return regs[operand]

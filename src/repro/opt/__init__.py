@@ -1,0 +1,34 @@
+"""Path-profile consumers: the optimizations the paper's summary points at.
+
+"Compilers can use path profiles to identify portions of a program that
+would benefit from optimization, and as an empirical basis for making
+optimization tradeoffs."  Two such consumers are implemented:
+
+* :mod:`repro.opt.layout` — hot-path code layout: reorder each
+  function's blocks so the hottest path is contiguous in memory,
+  improving I-cache behaviour with zero semantic change;
+* :mod:`repro.opt.superblock` — superblock formation: clone the
+  blocks of the hottest loop path into a single-entry trace and
+  straighten away its internal jumps, trading code size (the paper:
+  "these optimizations duplicate paths to customize them, which
+  increases code size") for fewer executed instructions.
+"""
+
+from repro.opt.cleanup import (
+    cleanup_function,
+    cleanup_program,
+    fold_constants,
+    remove_unreachable_blocks,
+)
+from repro.opt.layout import profile_guided_layout
+from repro.opt.superblock import SuperblockResult, form_superblock
+
+__all__ = [
+    "SuperblockResult",
+    "cleanup_function",
+    "cleanup_program",
+    "fold_constants",
+    "form_superblock",
+    "profile_guided_layout",
+    "remove_unreachable_blocks",
+]

@@ -1,0 +1,60 @@
+"""Profile-guided code layout.
+
+Reorders the blocks of each profiled function so the blocks of the
+hottest paths come first and in path order.  Block order is purely a
+layout property in this IR — control flow is by name — so the
+transformation cannot change semantics, only instruction-cache
+behaviour and fetch-line locality, which the machine simulator
+measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.function import Program
+from repro.profiles.pathprofile import PathProfile
+
+
+def profile_guided_layout(program: Program, profile: PathProfile) -> Dict[str, List[str]]:
+    """Reorder blocks in place; returns the new order per function.
+
+    Blocks are ranked by the total frequency of the executed paths that
+    contain them, then emitted in the order the hottest path visits
+    them, with the remaining blocks (cold or unprofiled) appended in
+    their original order.  The entry block always stays first.
+    """
+    new_orders: Dict[str, List[str]] = {}
+    for name, function_profile in profile.functions.items():
+        function = program.functions.get(name)
+        if function is None:
+            continue
+        heat: Dict[str, int] = {block.name: 0 for block in function.blocks}
+        ranked_paths = sorted(
+            function_profile.counts.items(), key=lambda item: -item[1]
+        )
+        visit_order: List[str] = []
+        for path_sum, freq in ranked_paths:
+            if freq <= 0:
+                continue
+            decoded = function_profile.decode(path_sum)
+            for block in decoded.blocks:
+                if block in heat:
+                    heat[block] += freq
+                    if block not in visit_order:
+                        visit_order.append(block)
+
+        entry = function.entry.name
+        order: List[str] = [entry]
+        for block in visit_order:
+            if block != entry:
+                order.append(block)
+        for block in function.blocks:
+            if block.name not in order:
+                order.append(block.name)
+
+        by_name = {block.name: block for block in function.blocks}
+        function.blocks = [by_name[n] for n in order]
+        function.invalidate_index()
+        new_orders[name] = order
+    return new_orders

@@ -1,0 +1,49 @@
+"""Ball–Larus efficient path profiling (paper §2) and its extensions.
+
+Pipeline:
+
+1. :mod:`repro.pathprof.transform` turns a cyclic CFG into an acyclic
+   one by replacing each backedge v->w with pseudo edges ENTRY->w and
+   v->EXIT (§2.2).
+2. :mod:`repro.pathprof.numbering` computes NP(v) (paths to EXIT) and
+   the Val(e) edge labelling whose path sums are unique and compact
+   (§2.1), plus path-sum -> block-sequence regeneration.
+3. :mod:`repro.pathprof.placement` decides where increments go: the
+   simple per-edge scheme of Figure 1(c), or the spanning-tree chord
+   optimization of Figure 1(d) (from the Ball–Larus MICRO'96 paper the
+   authors cite).
+"""
+
+from repro.pathprof.transform import TEdge, TransformedGraph, build_transformed
+from repro.pathprof.numbering import (
+    PathNumbering,
+    PathProfilingError,
+    ReconstructedPath,
+    number_paths,
+)
+from repro.pathprof.placement import (
+    BackedgeInstr,
+    EdgeIncrement,
+    ExitCommit,
+    InstrumentationPlan,
+    plan_simple,
+    plan_spanning_tree,
+)
+from repro.pathprof.estimate import estimate_edge_frequencies
+
+__all__ = [
+    "BackedgeInstr",
+    "EdgeIncrement",
+    "ExitCommit",
+    "InstrumentationPlan",
+    "PathNumbering",
+    "PathProfilingError",
+    "ReconstructedPath",
+    "TEdge",
+    "TransformedGraph",
+    "build_transformed",
+    "estimate_edge_frequencies",
+    "number_paths",
+    "plan_simple",
+    "plan_spanning_tree",
+]

@@ -1,0 +1,325 @@
+"""Instrumentation placement: where the path-register updates go.
+
+Two schemes:
+
+* :func:`plan_simple` — Figure 1(c): every transformed edge with a
+  nonzero Val gets ``r += Val(e)``; backedges get the combined
+  ``count[r+END]++; r = START``; returning blocks commit with the Val of
+  their exit edge folded in.
+
+* :func:`plan_spanning_tree` — Figure 1(d) / the MICRO'96 optimization:
+  add an uninstrumentable closing edge EXIT->ENTRY, pick a maximum-weight
+  spanning tree of the (undirected) transformed graph, and place
+  increments only on *chords*.  A chord's increment is the signed sum of
+  Val around its fundamental cycle; for any ENTRY..EXIT path the chord
+  increments telescope to exactly the path's Val sum, so path sums are
+  unchanged while hot tree edges carry no instrumentation.  Increments
+  that land on pseudo edges fold into the backedge's START/END
+  constants, and those on exit edges fold into the commit.
+
+Both schemes produce an :class:`InstrumentationPlan`, which the editor
+(:mod:`repro.edit`) lowers to actual spliced IR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cfg.graph import CFG, Edge
+from repro.pathprof.numbering import PathNumbering
+from repro.pathprof.transform import TEdge
+
+
+@dataclass(frozen=True)
+class EdgeIncrement:
+    """``r += value`` on a real CFG edge (value may be negative)."""
+
+    edge: Edge
+    value: int
+
+
+@dataclass(frozen=True)
+class BackedgeInstr:
+    """``count[r + end_val] += 1; r = start_val`` on a backedge."""
+
+    edge: Edge
+    end_val: int
+    start_val: int
+
+
+@dataclass(frozen=True)
+class ExitCommit:
+    """``count[r + value] += 1`` in a returning block (before the ret)."""
+
+    block: str
+    value: int
+
+
+@dataclass
+class InstrumentationPlan:
+    """Everything the editor needs to instrument one function."""
+
+    numbering: PathNumbering
+    method: str
+    increments: List[EdgeIncrement] = field(default_factory=list)
+    backedge_instrs: List[BackedgeInstr] = field(default_factory=list)
+    exit_commits: List[ExitCommit] = field(default_factory=list)
+
+    @property
+    def num_paths(self) -> int:
+        return self.numbering.num_paths
+
+    @property
+    def cfg(self) -> CFG:
+        return self.numbering.cfg
+
+    def increment_count(self) -> int:
+        """Number of distinct ``r += v`` sites (the optimization's target)."""
+        return sum(1 for inc in self.increments if inc.value != 0)
+
+    def check_path_sums(self, limit: int = 4096) -> None:
+        """Verify every path's increments telescope to its path sum.
+
+        Walks up to ``limit`` regenerated paths and simulates the plan's
+        updates; raises ``AssertionError`` on mismatch.  Used by tests
+        and as a paranoia check for the spanning-tree scheme.
+        """
+        inc_by_edge: Dict[int, int] = {
+            inc.edge.index: inc.value for inc in self.increments
+        }
+        start_by_backedge = {
+            bi.edge.index: bi.start_val for bi in self.backedge_instrs
+        }
+        end_by_backedge = {bi.edge.index: bi.end_val for bi in self.backedge_instrs}
+        commit_by_block = {ec.block: ec.value for ec in self.exit_commits}
+        for path in self.numbering.enumerate_paths(limit=limit):
+            register = 0
+            if path.entry_backedge is not None:
+                register = start_by_backedge[path.entry_backedge.index]
+            for tedge in path.tedges:
+                if tedge.role == "real" and tedge.dst != self.numbering.graph.exit:
+                    register += inc_by_edge.get(tedge.origin.index, 0)
+            if path.exit_backedge is not None:
+                register += end_by_backedge[path.exit_backedge.index]
+            else:
+                register += commit_by_block[path.blocks[-1]]
+            assert register == path.path_sum, (
+                f"{self.cfg.name}: path {path.describe()} commits {register}, "
+                f"expected {path.path_sum}"
+            )
+
+
+def plan_simple(numbering: PathNumbering) -> InstrumentationPlan:
+    """The per-edge scheme: instrument every nonzero transformed edge."""
+    plan = InstrumentationPlan(numbering, method="simple")
+    graph = numbering.graph
+    for tedge in graph.edges:
+        if tedge.index not in numbering.val:
+            continue  # source unreachable from ENTRY: never executes
+        value = numbering.val[tedge.index]
+        if tedge.role != "real":
+            continue
+        if tedge.dst == graph.exit:
+            plan.exit_commits.append(ExitCommit(tedge.src, value))
+        elif value != 0:
+            plan.increments.append(EdgeIncrement(tedge.origin, value))
+    for backedge in graph.backedges:
+        start_val, end_val = numbering.pseudo_values(backedge)
+        plan.backedge_instrs.append(BackedgeInstr(backedge, end_val, start_val))
+    return plan
+
+
+def plan_spanning_tree(
+    numbering: PathNumbering,
+    weights: Optional[Dict[int, float]] = None,
+) -> InstrumentationPlan:
+    """The chord-increment scheme over a maximum-weight spanning tree.
+
+    ``weights`` maps CFG-edge indices to relative frequencies (measured
+    or estimated); heavier edges are preferred as tree edges.  Pseudo
+    edges inherit their backedge's weight.
+    """
+    plan = InstrumentationPlan(numbering, method="spanning_tree")
+    graph = numbering.graph
+    tree, closing = _max_spanning_tree(numbering, weights)
+    chord_inc = _chord_increments(numbering, tree, closing)
+
+    start_vals: Dict[int, int] = {e.index: 0 for e in graph.backedges}
+    end_vals: Dict[int, int] = {e.index: 0 for e in graph.backedges}
+    commits: Dict[str, int] = {}
+    # Every exit edge needs a commit even with a zero increment.
+    for tedge in graph.edges:
+        if tedge.role == "real" and tedge.dst == graph.exit:
+            commits[tedge.src] = 0
+
+    for tedge, inc in chord_inc.items():
+        if tedge.role == "start":
+            start_vals[tedge.origin.index] = inc
+        elif tedge.role == "end":
+            end_vals[tedge.origin.index] = inc
+        elif tedge.dst == graph.exit:
+            commits[tedge.src] = inc
+        elif inc != 0:
+            plan.increments.append(EdgeIncrement(tedge.origin, inc))
+
+    for backedge in graph.backedges:
+        plan.backedge_instrs.append(
+            BackedgeInstr(backedge, end_vals[backedge.index], start_vals[backedge.index])
+        )
+    for block, value in commits.items():
+        plan.exit_commits.append(ExitCommit(block, value))
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Spanning-tree machinery
+# ---------------------------------------------------------------------------
+
+#: Sentinel "edge" closing EXIT back to ENTRY; always a tree edge.
+_CLOSING = "closing"
+
+
+class _UnionFind:
+    def __init__(self, items):
+        self.parent = {item: item for item in items}
+
+    def find(self, item):
+        root = item
+        parent = self.parent
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a, b) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[ra] = rb
+        return True
+
+
+def _max_spanning_tree(
+    numbering: PathNumbering, weights: Optional[Dict[int, float]]
+) -> Tuple[List[TEdge], bool]:
+    """Kruskal over the undirected transformed graph.
+
+    Returns (tree edges, closing_in_tree).  The closing EXIT->ENTRY edge
+    is processed first so it is always in the tree (it cannot carry an
+    increment).  Ties break on edge index for determinism.
+    """
+    graph = numbering.graph
+    uf = _UnionFind(graph.vertices)
+    closing_in_tree = uf.union(graph.exit, graph.entry)
+
+    def weight(tedge: TEdge) -> float:
+        if weights is None:
+            return 1.0
+        return weights.get(tedge.origin.index, 1.0)
+
+    ordered = sorted(graph.edges, key=lambda e: (-weight(e), e.index))
+    tree: List[TEdge] = []
+    for tedge in ordered:
+        if uf.union(tedge.src, tedge.dst):
+            tree.append(tedge)
+    return tree, closing_in_tree
+
+
+def _chord_increments(
+    numbering: PathNumbering, tree: List[TEdge], closing_in_tree: bool
+) -> Dict[TEdge, int]:
+    """Increment per chord: signed Val around its fundamental cycle.
+
+    For chord c = u->v, the fundamental cycle is c plus the tree path
+    from v back to u; traversing it in c's direction, each edge
+    contributes +Val if traversed forward and -Val if backward.  The
+    closing edge contributes 0 (it has no Val).
+    """
+    graph = numbering.graph
+    tree_set = {e.index for e in tree}
+    # Undirected adjacency over tree edges: vertex -> (neighbor, tedge, forward)
+    adj: Dict[str, List[Tuple[str, Optional[TEdge], bool]]] = {
+        v: [] for v in graph.vertices
+    }
+    for tedge in tree:
+        adj[tedge.src].append((tedge.dst, tedge, True))
+        adj[tedge.dst].append((tedge.src, tedge, False))
+    if closing_in_tree:
+        adj[graph.exit].append((graph.entry, None, True))
+        adj[graph.entry].append((graph.exit, None, False))
+
+    # Root the tree at ENTRY once; record parent pointers.
+    parent: Dict[str, Tuple[str, Optional[TEdge], bool]] = {}
+    seen = {graph.entry}
+    stack = [graph.entry]
+    while stack:
+        vertex = stack.pop()
+        for neighbor, tedge, forward in adj[vertex]:
+            if neighbor in seen:
+                continue
+            seen.add(neighbor)
+            parent[neighbor] = (vertex, tedge, forward)
+            stack.append(neighbor)
+
+    depth: Dict[str, int] = {graph.entry: 0}
+
+    def vertex_depth(vertex: str) -> int:
+        trail = []
+        while vertex not in depth:
+            trail.append(vertex)
+            vertex = parent[vertex][0]
+        base = depth[vertex]
+        for v in reversed(trail):
+            base += 1
+            depth[v] = base
+        return depth[trail[0]] if trail else base
+
+    increments: Dict[TEdge, int] = {}
+    for tedge in graph.edges:
+        if tedge.index in tree_set:
+            continue
+        if tedge.index not in numbering.val:
+            continue  # source unreachable from ENTRY: never executes
+        inc = numbering.val[tedge.index]
+        # Walk v and u up to their LCA, signing tree-edge Vals.
+        u, v = tedge.src, tedge.dst
+        du, dv = vertex_depth(u), vertex_depth(v)
+        # Traversal direction: cycle goes u ->(chord) v ->(tree) u.
+        # From v up toward the LCA we travel *with* the path direction
+        # v..u, so a tree edge stored as parent->child (forward=True,
+        # meaning edge points parent->child... see below) contributes:
+        #   going from child to parent against edge direction -> -Val
+        #   going from child to parent along edge direction  -> +Val
+        # parent[child] = (parent, tedge, forward) with forward=True when
+        # the tedge is directed parent->child.
+        # Tree edges whose source is unreachable carry no Val; any
+        # consistent assignment works for the telescoping identity
+        # (both sides are linear in the edge weights and such edges
+        # never lie on an executed path), so they count as zero.
+        val = numbering.val
+        while dv > du:
+            p, edge, forward = parent[v]
+            if edge is not None:
+                value = val.get(edge.index, 0)
+                inc += -value if forward else value
+            v, dv = p, dv - 1
+        while du > dv:
+            p, edge, forward = parent[u]
+            if edge is not None:
+                value = val.get(edge.index, 0)
+                inc += value if forward else -value
+            u, du = p, du - 1
+        while u != v:
+            pu, eu, fu = parent[u]
+            pv, ev, fv = parent[v]
+            if eu is not None:
+                value = val.get(eu.index, 0)
+                inc += value if fu else -value
+            if ev is not None:
+                value = val.get(ev.index, 0)
+                inc += -value if fv else value
+            u, v = pu, pv
+        increments[tedge] = inc
+    return increments

@@ -1,0 +1,141 @@
+"""A tracing ground-truth profiler for validating path instrumentation.
+
+Attached as a machine tracer to an *uninstrumented* program, the oracle
+derives Ball–Larus path frequencies directly from the executed block
+sequence: a path ends at procedure exit or when a backedge is taken,
+and its sum is the Val total along the corresponding transformed-graph
+edges (pseudo start/end edges included).  Tests then assert the
+instrumented program's counter tables equal the oracle's counts exactly
+— the central correctness property of §2.
+
+Non-local exits: frames killed by a longjmp have in-flight paths that
+never commit (mirroring the instrumented program, which only commits at
+rets and backedges); a resumed frame's interrupted path is *tainted*
+and dropped until the next backedge starts a fresh path, because the
+block-trace has no edge connecting the suspension point to the resume
+point.  Instrumented code in that situation accumulates a sum that may
+correspond to no real path; see the CounterTable out-of-range handling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cfg.graph import CFG
+from repro.pathprof.numbering import PathNumbering
+from repro.pathprof.transform import TEdge
+
+
+class _Active:
+    """Per-activation path state."""
+
+    __slots__ = ("function", "vertex", "path_sum", "tainted")
+
+    def __init__(self, function: str):
+        self.function = function
+        self.vertex: Optional[str] = None
+        self.path_sum = 0
+        self.tainted = False
+
+
+class PathOracle:
+    """Machine tracer computing ground-truth path frequencies."""
+
+    def __init__(self, numberings: Dict[str, PathNumbering]):
+        self.numberings = numberings
+        self.counts: Dict[str, Dict[int, int]] = {
+            name: {} for name in numberings
+        }
+        self.dropped_paths = 0
+        self._stack: List[_Active] = []
+        # Per function: (src, dst) -> real TEdge, and backedge maps.
+        self._real: Dict[str, Dict[Tuple[str, str], TEdge]] = {}
+        self._back: Dict[str, Dict[Tuple[str, str], Tuple[TEdge, TEdge]]] = {}
+        for name, numbering in numberings.items():
+            graph = numbering.graph
+            real: Dict[Tuple[str, str], TEdge] = {}
+            for tedge in graph.edges:
+                if tedge.role == "real":
+                    real[(tedge.src, tedge.dst)] = tedge
+            back: Dict[Tuple[str, str], Tuple[TEdge, TEdge]] = {}
+            for backedge in graph.backedges:
+                back[(backedge.src, backedge.dst)] = graph.pseudo_for_backedge[
+                    backedge.index
+                ]
+            self._real[name] = real
+            self._back[name] = back
+
+    # -- tracer protocol --------------------------------------------------------
+
+    def on_enter(self, function: str, site: int) -> None:
+        self._stack.append(_Active(function))
+
+    def on_exit(self, function: str, value) -> None:
+        active = self._stack.pop()
+        if active.function not in self.numberings:
+            return
+        if active.tainted or active.vertex is None:
+            self.dropped_paths += 1
+            return
+        numbering = self.numberings[active.function]
+        exit_edge = self._real[active.function].get(
+            (active.vertex, numbering.graph.exit)
+        )
+        if exit_edge is None:
+            # Killed by longjmp mid-block: the in-flight path never
+            # reaches a commit point.
+            self.dropped_paths += 1
+            return
+        self._record(active, active.path_sum + numbering.val[exit_edge.index])
+
+    def on_block(self, function: str, block: str) -> None:
+        if not self._stack:
+            return
+        active = self._stack[-1]
+        if active.function != function or function not in self.numberings:
+            return
+        numbering = self.numberings[function]
+        if active.vertex is None:
+            # First block of the activation.  When the CFG has a
+            # synthetic ENTRY (first block had predecessors), the
+            # ENTRY->first edge carries a Val of its own.
+            active.path_sum = 0
+            graph_entry = numbering.graph.entry
+            if graph_entry != block:
+                entry_edge = self._real[function].get((graph_entry, block))
+                if entry_edge is not None:
+                    active.path_sum = numbering.val[entry_edge.index]
+            active.vertex = block
+            return
+        key = (active.vertex, block)
+        back = self._back[function].get(key)
+        if back is not None:
+            start_edge, end_edge = back
+            if not active.tainted:
+                self._record(active, active.path_sum + numbering.val[end_edge.index])
+            else:
+                self.dropped_paths += 1
+            active.tainted = False
+            active.path_sum = numbering.val[start_edge.index]
+            active.vertex = block
+            return
+        real = self._real[function].get(key)
+        if real is None:
+            # No such edge: a longjmp resumed this frame mid-function.
+            active.tainted = True
+            active.vertex = block
+            return
+        if not active.tainted:
+            active.path_sum += numbering.val[real.index]
+        active.vertex = block
+
+    # -- internals ------------------------------------------------------------------
+
+    def _record(self, active: _Active, path_sum: int) -> None:
+        table = self.counts[active.function]
+        table[path_sum] = table.get(path_sum, 0) + 1
+
+    # -- results ---------------------------------------------------------------------
+
+    def function_counts(self, function: str) -> Dict[int, int]:
+        return dict(self.counts.get(function, {}))

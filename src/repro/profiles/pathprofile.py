@@ -1,0 +1,125 @@
+"""Collected path profiles.
+
+A :class:`PathProfile` is the post-run view over the counter tables:
+for every function, the executed paths (by path sum) with their
+frequency and accumulated hardware metrics, decodable back into block
+sequences through the function's numbering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from repro.instrument.pathinstr import FlowInstrumentation, FunctionPathInfo
+from repro.pathprof.numbering import PathNumbering, ReconstructedPath
+
+
+@dataclass
+class PathEntry:
+    """One executed path of one function."""
+
+    function: str
+    path_sum: int
+    freq: int
+    #: Accumulated PIC values; with the default mapping, ``metrics[0]``
+    #: is instructions and ``metrics[1]`` is L1 D-cache misses.
+    metrics: List[int]
+
+    @property
+    def instructions(self) -> int:
+        return self.metrics[0] if self.metrics else 0
+
+    @property
+    def misses(self) -> int:
+        return self.metrics[1] if len(self.metrics) > 1 else 0
+
+
+class FunctionPathProfile:
+    """All executed paths of one function."""
+
+    def __init__(self, info: FunctionPathInfo, counts: Dict[int, int],
+                 metrics: Dict[int, List[int]]):
+        self.function = info.function
+        self.numbering: PathNumbering = info.numbering
+        self.num_potential_paths = info.num_paths
+        self.counts = counts
+        self.metrics = metrics
+
+    def entries(self) -> Iterator[PathEntry]:
+        for path_sum, freq in sorted(self.counts.items()):
+            yield PathEntry(
+                self.function,
+                path_sum,
+                freq,
+                list(self.metrics.get(path_sum, ())),
+            )
+
+    def executed_paths(self) -> int:
+        return sum(1 for c in self.counts.values() if c > 0)
+
+    def decode(self, path_sum: int) -> ReconstructedPath:
+        return self.numbering.regenerate(path_sum)
+
+    def total_freq(self) -> int:
+        return sum(self.counts.values())
+
+
+class PathProfile:
+    """Per-function path profiles for a whole program run."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionPathProfile] = {}
+
+    def entries(self) -> Iterator[PathEntry]:
+        for profile in self.functions.values():
+            yield from profile.entries()
+
+    def executed_paths(self) -> int:
+        return sum(p.executed_paths() for p in self.functions.values())
+
+    def total(self, metric: int) -> int:
+        return sum(e.metrics[metric] for e in self.entries() if len(e.metrics) > metric)
+
+    def total_instructions(self) -> int:
+        return self.total(0)
+
+    def total_misses(self) -> int:
+        return self.total(1)
+
+
+def collect_path_profile(
+    flow: FlowInstrumentation,
+    cct_runtime=None,
+) -> PathProfile:
+    """Assemble the profile after a run.
+
+    For globally-tabled functions the counts come straight from the
+    flow tables.  For per-context functions (combined mode) the counts
+    are summed over every call record's table — and the per-context
+    breakdown stays available on the CCT itself.
+    """
+    profile = PathProfile()
+    for name, info in flow.functions.items():
+        if info.table is not None:
+            counts = dict(info.table.counts)
+            metrics = {k: list(v) for k, v in info.table.metrics.items()}
+        else:
+            if cct_runtime is None:
+                raise ValueError(
+                    f"{name} uses per-context tables; pass the CCT runtime"
+                )
+            counts = {}
+            metrics = {}
+            for record in cct_runtime.records:
+                table = record.path_tables.get(name)
+                if table is None:
+                    continue
+                for path_sum, count in table.counts.items():
+                    counts[path_sum] = counts.get(path_sum, 0) + count
+                for path_sum, values in table.metrics.items():
+                    slot = metrics.setdefault(path_sum, [0] * len(values))
+                    for offset, value in enumerate(values):
+                        slot[offset] += value
+        profile.functions[name] = FunctionPathProfile(info, counts, metrics)
+    return profile

@@ -1,0 +1,91 @@
+"""Call-stack sampling: the Goldberg–Hall baseline (paper §7.2).
+
+Their profiler interrupts the process periodically and walks the call
+stack, recording the full chain per sample.  The paper's two criticisms,
+both reproduced here:
+
+* accuracy is limited by sampling (estimates carry statistical error
+  the CCT's exact counts do not);
+* "the size of their data structure is unbounded, since each sample is
+  recorded along with its call stack" — storage grows linearly with run
+  time, while the CCT is bounded by the program's context count.
+
+Implemented as a machine tracer: it maintains the call stack from
+enter/exit events and takes a sample every ``period`` block events
+(the simulator's stand-in for a timer interrupt).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class StackSampler:
+    """Periodic call-stack sampler; attach as ``machine.tracer``."""
+
+    def __init__(self, period: int = 64):
+        if period <= 0:
+            raise ValueError("sampling period must be positive")
+        self.period = period
+        #: Every sample, verbatim: one tuple of procedure names per
+        #: interrupt.  This is the unbounded structure.
+        self.samples: List[Tuple[str, ...]] = []
+        self._stack: List[str] = []
+        self._events = 0
+
+    # -- tracer protocol ----------------------------------------------------
+
+    def on_enter(self, proc: str, site: int) -> None:
+        self._stack.append(proc)
+
+    def on_exit(self, proc: str, value) -> None:
+        if self._stack:
+            self._stack.pop()
+
+    def on_block(self, proc: str, block: str) -> None:
+        self._events += 1
+        if self._events % self.period == 0:
+            self.samples.append(tuple(self._stack))
+
+    # -- analysis -------------------------------------------------------------
+
+    def storage_cells(self) -> int:
+        """Total stack cells recorded: grows without bound (§7.2)."""
+        return sum(len(sample) for sample in self.samples)
+
+    def context_shares(self) -> Dict[Tuple[str, ...], float]:
+        """Fraction of samples whose stack is exactly each context."""
+        if not self.samples:
+            return {}
+        counts: Dict[Tuple[str, ...], int] = {}
+        for sample in self.samples:
+            counts[sample] = counts.get(sample, 0) + 1
+        total = len(self.samples)
+        return {context: count / total for context, count in counts.items()}
+
+    def estimate(self, total_metric: int) -> Dict[Tuple[str, ...], float]:
+        """Attribute ``total_metric`` to contexts by sample shares.
+
+        This is the *exclusive* (self-time) attribution samplers
+        naturally produce: a sample taken while ``main -> f`` runs
+        charges f-called-from-main, not main.
+        """
+        return {
+            context: share * total_metric
+            for context, share in self.context_shares().items()
+        }
+
+    def inclusive_estimate(self, total_metric: int) -> Dict[Tuple[str, ...], float]:
+        """Attribute inclusively: a sample charges every stack prefix."""
+        if not self.samples:
+            return {}
+        counts: Dict[Tuple[str, ...], int] = {}
+        for sample in self.samples:
+            for depth in range(1, len(sample) + 1):
+                prefix = sample[:depth]
+                counts[prefix] = counts.get(prefix, 0) + 1
+        total = len(self.samples)
+        return {
+            context: (count / total) * total_metric
+            for context, count in counts.items()
+        }

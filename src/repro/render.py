@@ -1,0 +1,141 @@
+"""Renderers: ASCII trees and Graphviz DOT for CFGs and CCTs.
+
+The paper's companion work [JSB97] is about *visualizing* interactions
+in program executions; this module provides the minimal equivalents a
+user of this library needs: a readable CCT dump for terminals and DOT
+exports (CFG with Ball–Larus edge values, CCT with metrics) for
+rendering with standard tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cct.records import CalleeList, CallRecord
+from repro.cfg.graph import CFG
+from repro.pathprof.numbering import PathNumbering
+
+
+def render_cct_ascii(
+    root: CallRecord,
+    metric: Optional[int] = 0,
+    max_depth: int = 32,
+) -> str:
+    """An indented tree, one call record per line, backedges annotated."""
+    lines: List[str] = []
+
+    def visit(record: CallRecord, prefix: str, is_last: bool, depth: int) -> None:
+        connector = "`- " if is_last else "|- "
+        label = record.id
+        if metric is not None and record.metrics:
+            label += f" [{record.metrics[metric]}]"
+        lines.append(prefix + connector + label)
+        if depth >= max_depth:
+            return
+        child_prefix = prefix + ("   " if is_last else "|  ")
+        children: List[tuple] = []
+        for site, slot in enumerate(record.slots):
+            if slot is None:
+                continue
+            if isinstance(slot, CalleeList):
+                for child in slot.records():
+                    children.append((site, child))
+            else:
+                children.append((site, slot))
+        for position, (site, child) in enumerate(children):
+            last = position == len(children) - 1
+            if child.parent is not record:
+                # A recursion backedge: annotate, do not descend.
+                marker = "`- " if last else "|- "
+                lines.append(
+                    child_prefix + marker + f"{child.id} (recursion ^)"
+                )
+            else:
+                visit(child, child_prefix, last, depth + 1)
+
+    lines.append(root.id)
+    children = list(root.children())
+    for position, child in enumerate(children):
+        visit(child, "", position == len(children) - 1, 1)
+    return "\n".join(lines)
+
+
+def render_cfg_dot(
+    cfg: CFG, numbering: Optional[PathNumbering] = None, name: Optional[str] = None
+) -> str:
+    """Graphviz DOT for a CFG; edges carry Val labels when numbered."""
+    title = name or cfg.name
+    lines = [f'digraph "{title}" {{', "  node [shape=box fontname=monospace];"]
+    for vertex in cfg.vertices:
+        shape = ' shape=doublecircle' if vertex in (cfg.entry, cfg.exit) else ""
+        lines.append(f'  "{vertex}"[label="{vertex}"{shape}];')
+    values: Dict[int, int] = {}
+    backedge_ids = set()
+    if numbering is not None:
+        graph = numbering.graph
+        backedge_ids = {e.index for e in graph.backedges}
+        for tedge in graph.edges:
+            if tedge.role == "real" and tedge.index in numbering.val:
+                values[tedge.origin.index] = numbering.val[tedge.index]
+    for edge in cfg.edges:
+        attributes = []
+        if edge.index in values and values[edge.index]:
+            attributes.append(f'label="+{values[edge.index]}"')
+        if edge.index in backedge_ids:
+            attributes.append("style=dashed color=red")
+        attribute_text = f" [{' '.join(attributes)}]" if attributes else ""
+        lines.append(f'  "{edge.src}" -> "{edge.dst}"{attribute_text};')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_cct_dot(root: CallRecord, metric: int = 0) -> str:
+    """Graphviz DOT for a CCT; red dashed edges are recursion backedges."""
+    lines = ["digraph CCT {", "  node [shape=box fontname=monospace];"]
+    index_of: Dict[int, int] = {}
+    order: List[CallRecord] = []
+
+    def number(record: CallRecord) -> int:
+        key = id(record)
+        if key not in index_of:
+            index_of[key] = len(order)
+            order.append(record)
+        return index_of[key]
+
+    stack = [root]
+    seen = set()
+    while stack:
+        record = stack.pop()
+        if id(record) in seen:
+            continue
+        seen.add(id(record))
+        number(record)
+        for child in record.children():
+            stack.append(child)
+
+    for record in order:
+        value = record.metrics[metric] if record.metrics else 0
+        lines.append(
+            f'  n{index_of[id(record)]} [label="{record.id}\\n{value}"];'
+        )
+    emitted = set()
+    for record in order:
+        for site, slot in enumerate(record.slots):
+            if slot is None:
+                continue
+            targets = slot.records() if isinstance(slot, CalleeList) else [slot]
+            for child in targets:
+                key = (id(record), site, id(child))
+                if key in emitted:
+                    continue
+                emitted.add(key)
+                style = (
+                    " [style=dashed color=red]"
+                    if child.parent is not record
+                    else f' [label="s{site}"]'
+                )
+                lines.append(
+                    f"  n{index_of[id(record)]} -> n{index_of[id(child)]}{style};"
+                )
+    lines.append("}")
+    return "\n".join(lines)

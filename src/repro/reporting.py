@@ -1,0 +1,65 @@
+"""Plain-text tables in the style of the paper's results section."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Align a list of row dicts into a monospaced table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {c: len(str(c)) for c in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            text = _format_cell(value)
+            widths[column] = max(widths[column], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).rjust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cells in rendered:
+        lines.append(
+            "  ".join(cell.rjust(widths[column]) for column, cell in zip(columns, cells))
+        )
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    if isinstance(value, int) and abs(value) >= 10_000_000:
+        return f"{value:.2e}"
+    return str(value)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,5 @@
+"""End-to-end drivers: the PP tool."""
+
+from repro.tools.pp import PP, ProfileRun, clone_program
+
+__all__ = ["PP", "ProfileRun", "clone_program"]

@@ -1,0 +1,221 @@
+"""PP — the Path Profiler (§5), end to end.
+
+One method per profiling configuration of Table 1:
+
+* :meth:`PP.baseline` — the uninstrumented run (free-running counters);
+* :meth:`PP.flow_hw` — hardware metrics along intraprocedural paths
+  ("Flow and HW");
+* :meth:`PP.context_hw` — hardware metrics per calling context
+  ("Context and HW");
+* :meth:`PP.context_flow` — path frequencies per calling context
+  ("Context and Flow");
+* :meth:`PP.flow_freq` — plain path profiling (the §6.1 baseline);
+* :meth:`PP.edge_profile` — the qpt-style edge-profiling comparator.
+
+Every method deep-copies the input program before instrumenting, so
+one program object can be profiled under every configuration.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.cct.runtime import CCTRuntime
+from repro.instrument.cctinstr import ContextInstrumentation, instrument_context
+from repro.instrument.edgeinstr import EdgeInstrumentation, instrument_edges
+from repro.instrument.pathinstr import FlowInstrumentation, instrument_paths
+from repro.instrument.tables import ProfilingRuntime
+from repro.ir.function import Program
+from repro.machine.config import MachineConfig
+from repro.machine.counters import Event
+from repro.machine.memory import MemoryMap
+from repro.machine.vm import Machine, RunResult
+from repro.profiles.pathprofile import PathProfile, collect_path_profile
+
+
+def clone_program(program: Program) -> Program:
+    """Deep-copy a program so instrumentation can edit it freely."""
+    return copy.deepcopy(program)
+
+
+@dataclass
+class ProfileRun:
+    """Everything one profiling run produced."""
+
+    label: str
+    program: Program
+    machine: Machine
+    result: RunResult
+    flow: Optional[FlowInstrumentation] = None
+    edges: Optional[EdgeInstrumentation] = None
+    context: Optional[ContextInstrumentation] = None
+    cct: Optional[CCTRuntime] = None
+    path_profile: Optional[PathProfile] = None
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+    @property
+    def return_value(self):
+        return self.result.return_value
+
+    def overhead_vs(self, baseline: "ProfileRun") -> float:
+        """Run-time ratio against a baseline run (Table 1's "x base")."""
+        return self.cycles / baseline.cycles if baseline.cycles else float("inf")
+
+
+class PP:
+    """The profiler front end; see the module docstring."""
+
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        pic0_event: Event = Event.INSTRS,
+        pic1_event: Event = Event.DC_MISS,
+        placement: str = "spanning_tree",
+    ):
+        self.config = config or MachineConfig()
+        self.pic0_event = pic0_event
+        self.pic1_event = pic1_event
+        self.placement = placement
+
+    # -- runs ------------------------------------------------------------------
+
+    def _machine(self, program: Program) -> Machine:
+        return Machine(
+            program,
+            copy.deepcopy(self.config),
+            pic0_event=self.pic0_event,
+            pic1_event=self.pic1_event,
+        )
+
+    def baseline(self, program: Program, args: Sequence = ()) -> ProfileRun:
+        target = clone_program(program)
+        machine = self._machine(target)
+        result = machine.run(*args)
+        return ProfileRun("base", target, machine, result)
+
+    def flow_hw(
+        self,
+        program: Program,
+        args: Sequence = (),
+        functions: Optional[Sequence[str]] = None,
+    ) -> ProfileRun:
+        target = clone_program(program)
+        runtime = ProfilingRuntime(MemoryMap().profiling.base)
+        flow = instrument_paths(
+            target,
+            mode="hw",
+            placement=self.placement,
+            runtime=runtime,
+            functions=functions,
+        )
+        machine = self._machine(target)
+        machine.path_runtime = runtime
+        result = machine.run(*args)
+        profile = collect_path_profile(flow)
+        return ProfileRun(
+            "flow+hw", target, machine, result, flow=flow, path_profile=profile
+        )
+
+    def flow_freq(
+        self,
+        program: Program,
+        args: Sequence = (),
+        functions: Optional[Sequence[str]] = None,
+        placement: Optional[str] = None,
+    ) -> ProfileRun:
+        target = clone_program(program)
+        runtime = ProfilingRuntime(MemoryMap().profiling.base)
+        flow = instrument_paths(
+            target,
+            mode="freq",
+            placement=placement or self.placement,
+            runtime=runtime,
+            functions=functions,
+        )
+        machine = self._machine(target)
+        machine.path_runtime = runtime
+        result = machine.run(*args)
+        profile = collect_path_profile(flow)
+        return ProfileRun(
+            "flow", target, machine, result, flow=flow, path_profile=profile
+        )
+
+    def context_hw(
+        self,
+        program: Program,
+        args: Sequence = (),
+        functions: Optional[Sequence[str]] = None,
+        read_at_backedges: bool = False,
+        by_site: bool = True,
+    ) -> ProfileRun:
+        target = clone_program(program)
+        context = instrument_context(
+            target, functions=functions, read_at_backedges=read_at_backedges
+        )
+        cct = CCTRuntime(MemoryMap().cct.base, collect_hw=True, by_site=by_site)
+        machine = self._machine(target)
+        machine.cct_runtime = cct
+        result = machine.run(*args)
+        return ProfileRun(
+            "context+hw", target, machine, result, context=context, cct=cct
+        )
+
+    def context_flow(
+        self,
+        program: Program,
+        args: Sequence = (),
+        functions: Optional[Sequence[str]] = None,
+        by_site: bool = True,
+    ) -> ProfileRun:
+        target = clone_program(program)
+        runtime = ProfilingRuntime(MemoryMap().profiling.base)
+        # Flow first so path commits precede CctExit (see cctinstr).
+        flow = instrument_paths(
+            target,
+            mode="freq",
+            placement=self.placement,
+            runtime=runtime,
+            functions=functions,
+            per_context=True,
+        )
+        context = instrument_context(target, functions=functions)
+        cct = CCTRuntime(
+            MemoryMap().cct.base, collect_hw=False, profiling=runtime, by_site=by_site
+        )
+        machine = self._machine(target)
+        machine.path_runtime = runtime
+        machine.cct_runtime = cct
+        result = machine.run(*args)
+        profile = collect_path_profile(flow, cct_runtime=cct)
+        return ProfileRun(
+            "context+flow",
+            target,
+            machine,
+            result,
+            flow=flow,
+            context=context,
+            cct=cct,
+            path_profile=profile,
+        )
+
+    def edge_profile(
+        self,
+        program: Program,
+        args: Sequence = (),
+        placement: str = "simple",
+        functions: Optional[Sequence[str]] = None,
+    ) -> ProfileRun:
+        target = clone_program(program)
+        runtime = ProfilingRuntime(MemoryMap().profiling.base)
+        edges = instrument_edges(
+            target, placement=placement, runtime=runtime, functions=functions
+        )
+        machine = self._machine(target)
+        machine.path_runtime = runtime
+        result = machine.run(*args)
+        return ProfileRun("edge", target, machine, result, edges=edges)

@@ -1,0 +1,55 @@
+"""Synthetic workloads: the SPEC95 substitute.
+
+The paper's evaluation runs the 18 SPEC95 benchmarks.  Those binaries
+(and an UltraSPARC) are unavailable here, so this package generates
+deterministic IR programs named after them, each built from an
+*archetype* whose structural parameters (loop nests, branching width,
+call depth, recursion, indirect dispatch, and data-access skew) are
+chosen to reproduce the published *shape*:
+
+* loop-dominated FP codes (tomcatv, swim, ...) concentrate nearly all
+  misses in one or two kernel procedures and a handful of paths;
+* integer codes mix hot kernels with dispatch trees that spread a long
+  cold tail of paths;
+* go and gcc stand apart, realizing roughly an order of magnitude more
+  paths with misses diffused across them (the paper lowers their hot
+  threshold to 0.1%);
+* interpreters (li, perl, m88ksim) dispatch through indirect calls,
+  exercising the CCT's callee lists;
+* vortex builds deep, wide call layers, producing the largest CCT.
+
+Everything is seeded: the same spec always generates the same program
+and the same execution.
+"""
+
+from repro.workloads.archetypes import (
+    make_branchy_program,
+    make_compress_program,
+    make_interpreter_program,
+    make_layered_calls_program,
+    make_loop_kernel_program,
+    make_recursive_program,
+)
+from repro.workloads.suite import (
+    CFP95,
+    CINT95,
+    SPEC95,
+    WorkloadSpec,
+    build_workload,
+    workload_names,
+)
+
+__all__ = [
+    "CFP95",
+    "CINT95",
+    "SPEC95",
+    "WorkloadSpec",
+    "build_workload",
+    "make_branchy_program",
+    "make_compress_program",
+    "make_interpreter_program",
+    "make_layered_calls_program",
+    "make_loop_kernel_program",
+    "make_recursive_program",
+    "workload_names",
+]

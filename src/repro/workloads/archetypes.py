@@ -1,0 +1,683 @@
+"""Workload archetypes: program generators behind the SPEC95-like suite.
+
+Every generator is deterministic in ``(name, seed, scale)`` and returns
+a validated :class:`~repro.ir.function.Program` whose ``main`` returns a
+checksum — instrumented and uninstrumented runs must return the same
+value, which the tests assert.
+
+The archetypes and the published behaviour they are shaped to match:
+
+====================  =====================================================
+archetype             SPEC95 behaviour reproduced
+====================  =====================================================
+loop_kernel           FP codes: 1-3 hot procedures, few dense hot paths
+                      carrying most misses (tomcatv's single procedure
+                      covers 99.7%)
+branchy               go/gcc: an order of magnitude more executed paths,
+                      misses diffused, hot threshold must drop to 0.1%
+interpreter           li/perl/m88ksim: indirect dispatch (CCT callee
+                      lists), a couple of miss-heavy handlers
+layered_calls         vortex: deep and wide call layers -> the largest CCT
+compress              compress: two hot procedures with above-average
+                      miss ratios covering ~92% of misses
+recursive             CCT recursion backedges (Figure 5)
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import List, Tuple
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.function import Program
+from repro.ir.instructions import Imm
+from repro.workloads.kernels import (
+    GlobalPlanner,
+    emit_compute_chain,
+    emit_conflict_ping_pong,
+    emit_dispatch_tree,
+    emit_fp_chain,
+    emit_lcg_step,
+    emit_sum_walk,
+)
+
+#: Words in the default 16KB cache (8-byte words).
+CACHE_WORDS = 16 * 1024 // 8
+
+
+# ---------------------------------------------------------------------------
+# Shared pieces
+# ---------------------------------------------------------------------------
+
+
+def _emit_main(
+    pb: ProgramBuilder,
+    iterations: int,
+    kernel_calls: List[Tuple[str, int]],
+    seed: int,
+) -> None:
+    """``main``: LCG-driven loop calling each kernel with (i, state).
+
+    ``kernel_calls`` is a list of (function name, period): the kernel
+    is called on iterations divisible by its period, so kernels can
+    have different heats.
+    """
+    fb = pb.function("main", num_params=0, num_regs=16)
+    i, limit, state, scratch, checksum, cond, tmp = 0, 1, 2, 3, 4, 5, 6
+    fb.block("entry")
+    fb.const(0, dst=i)
+    fb.const(iterations, dst=limit)
+    fb.const(seed & 0x7FFFFFFF or 1, dst=state)
+    fb.const(0, dst=checksum)
+    fb.br("loop")
+    fb.block("loop")
+    fb.binop("lt", i, limit, dst=cond)
+    fb.cbr(cond, "body", "done")
+    fb.block("body")
+    emit_lcg_step(fb, state, scratch)
+    previous = "body"
+    for index, (kernel, period) in enumerate(kernel_calls):
+        if period <= 1:
+            fb.call(kernel, [i, state], dst=tmp)
+            fb.binop("add", checksum, tmp, dst=checksum)
+            continue
+        fb.binop("mod", i, Imm(period), dst=scratch)
+        fb.binop("eq", scratch, Imm(0), dst=cond)
+        call_block = f"call{index}"
+        skip_block = f"skip{index}"
+        fb.cbr(cond, call_block, skip_block)
+        fb.block(call_block)
+        fb.call(kernel, [i, state], dst=tmp)
+        fb.binop("add", checksum, tmp, dst=checksum)
+        fb.br(skip_block)
+        fb.block(skip_block)
+        previous = skip_block
+    fb.binop("add", i, Imm(1), dst=i)
+    fb.br("loop")
+    fb.block("done")
+    fb.ret(checksum)
+    pb.add(fb)
+
+
+def _finish(pb: ProgramBuilder, planner: GlobalPlanner) -> Program:
+    program = pb.finish(validate=True)
+    program.globals_size = planner.total_words
+    return program
+
+
+# ---------------------------------------------------------------------------
+# loop_kernel: the FP archetype
+# ---------------------------------------------------------------------------
+
+
+def make_loop_kernel_program(
+    name: str,
+    seed: int = 1,
+    iterations: int = 60,
+    rows: int = 48,
+    kernels: int = 1,
+    fp_ops: int = 4,
+    conflict_rounds: int = 3,
+    edge_period: int = 16,
+    array_words: int = 4 * CACHE_WORDS,
+) -> Program:
+    """Loop-nest FP code: hot paths inside 1..3 kernel procedures.
+
+    Each kernel's inner loop alternates between a *dense* helper
+    (line-strided walk over a multiple-of-cache array plus a conflict
+    ping-pong: nearly every access misses) and a *sparse* helper
+    (a unit-stride walk plus heavy register work: executes just as
+    often, misses far less per instruction).  Every
+    ``edge_period``-th row takes an edge helper with an 8-way dispatch
+    tree — the cold tail, with a trickle of misses of its own.
+    Helpers are called per inner iteration, so call-frequency (and with
+    it CCT maintenance) is realistic for loop code.
+    """
+    rng = Random(seed)
+    pb = ProgramBuilder(entry="main")
+    planner = GlobalPlanner()
+    calls: List[Tuple[str, int]] = []
+    for k in range(kernels):
+        kname = f"kernel{k}"
+        big = planner.array(f"{kname}_big", array_words)
+        medium = planner.array(f"{kname}_med", 2 * CACHE_WORDS)
+        pair = planner.conflict_pair(f"{kname}_cp", 512, CACHE_WORDS)
+
+        # --- dense helper: concentrated conflict + capacity misses ---
+        fb = pb.function(f"dense{k}", num_params=2, num_regs=14)
+        i, j = 0, 1
+        addr, scratch, accum, tmp = 2, 3, 4, 5
+        fb.block("entry")
+        fb.const(0, dst=accum)
+        fb.binop("mul", i, Imm(rows | 1), dst=tmp)
+        fb.binop("add", tmp, j, dst=tmp)
+        emit_sum_walk(fb, big, tmp, accum, addr, scratch, loads=3, stride_words=4)
+        emit_conflict_ping_pong(fb, pair, j, accum, addr, scratch, conflict_rounds)
+        # Write the result back at a new line: write misses for Table 2.
+        fb.store(accum, addr, 8 * 4)
+        fb.ret(accum)
+        pb.add(fb)
+
+        # --- sparse helper: heavy work, few misses per instruction ---
+        fb = pb.function(f"sparse{k}", num_params=2, num_regs=14)
+        i, j = 0, 1
+        addr, scratch, accum, tmp, fval = 2, 3, 4, 5, 6
+        fb.block("entry")
+        fb.const(0, dst=accum)
+        fb.binop("add", i, j, dst=tmp)
+        emit_sum_walk(fb, medium, tmp, accum, addr, scratch, loads=4, stride_words=1)
+        emit_compute_chain(fb, accum, 10)
+        fb.store(accum, addr, 0)
+        if fp_ops:
+            fb.const(1.25, dst=fval)
+            emit_fp_chain(fb, fval, tmp, fp_ops)
+        fb.ret(accum)
+        pb.add(fb)
+
+        # --- edge helper: the cold tail (8-way dispatch) ---
+        fb = pb.function(f"edge{k}", num_params=2, num_regs=14)
+        i, j = 0, 1
+        addr, scratch, accum, sel = 2, 3, 4, 5
+        fb.block("entry")
+        fb.const(0, dst=accum)
+        fb.binop("add", i, j, dst=sel)
+        fb.binop("and", sel, Imm(7), dst=sel)
+        fb.br("disp_0_8")
+
+        def leaf(fbl, index):
+            emit_compute_chain(fbl, accum, 2 + index % 3)
+            if index % 2 == 0:
+                fbl.binop("add", sel, Imm(index * 37), dst=scratch)
+                emit_sum_walk(fbl, medium, scratch, accum, addr, scratch,
+                              loads=1, stride_words=4)
+
+        emit_dispatch_tree(fb, sel, 8, "disp", "out", scratch, leaf)
+        fb.block("out")
+        fb.ret(accum)
+        pb.add(fb)
+
+        # --- the kernel: inner loop calling the helpers ---
+        fb = pb.function(kname, num_params=2, num_regs=16)
+        i, state = 0, 1
+        j, limit, cond, scratch, accum, tmp = 2, 3, 4, 5, 6, 7
+        trip = rows + rng.randrange(8)
+        fb.block("entry")
+        fb.const(0, dst=j)
+        fb.const(trip, dst=limit)
+        fb.const(0, dst=accum)
+        fb.br("loop")
+        fb.block("loop")
+        fb.binop("lt", j, limit, dst=cond)
+        fb.cbr(cond, "body", "done")
+        fb.block("body")
+        fb.binop("and", j, Imm(edge_period - 1), dst=scratch)
+        fb.binop("eq", scratch, Imm(0), dst=cond)
+        fb.cbr(cond, "edge", "steady")
+        fb.block("steady")
+        fb.binop("and", j, Imm(1), dst=cond)
+        fb.cbr(cond, "odd", "even")
+        fb.block("even")
+        fb.call(f"dense{k}", [i, j], dst=tmp)
+        fb.binop("add", accum, tmp, dst=accum)
+        fb.br("next")
+        fb.block("odd")
+        fb.call(f"sparse{k}", [i, j], dst=tmp)
+        fb.binop("add", accum, tmp, dst=accum)
+        fb.br("next")
+        fb.block("edge")
+        fb.call(f"edge{k}", [i, j], dst=tmp)
+        fb.binop("add", accum, tmp, dst=accum)
+        fb.br("next")
+        fb.block("next")
+        fb.binop("add", j, Imm(1), dst=j)
+        fb.br("loop")
+        fb.block("done")
+        fb.binop("and", accum, Imm(0xFFFF_FFFF), dst=accum)
+        fb.ret(accum)
+        pb.add(fb)
+        calls.append((kname, 1 if k == 0 else 2 + k))
+    _emit_main(pb, iterations, calls, seed)
+    return _finish(pb, planner)
+
+
+# ---------------------------------------------------------------------------
+# branchy: the go/gcc archetype
+# ---------------------------------------------------------------------------
+
+
+def make_branchy_program(
+    name: str,
+    seed: int = 2,
+    iterations: int = 40,
+    rows: int = 24,
+    diamonds: int = 7,
+    evaluators: int = 3,
+    array_words: int = 4 * CACHE_WORDS,
+) -> Program:
+    """Branch-heavy code: ``2**diamonds`` path shapes per inner iteration.
+
+    Several ``evaluate`` procedures each run a chain of diamonds per
+    inner iteration; a diamond tests the OR of two mid-range LCG bits
+    (taken with probability ~3/4, so realized patterns follow a
+    moderately skewed distribution: many paths execute, none
+    dominates).  *Both* arms do a pseudo-random load into a
+    cache-busting array, so misses are spread across the realized paths
+    rather than concentrated — the go/gcc phenomenon that forces the
+    hot-path threshold down to 0.1%.  Every inner iteration also calls
+    a shared ``score`` helper, keeping call frequency (and CCT
+    maintenance cost) realistic for pointer-heavy integer code.
+    """
+    rng = Random(seed)
+    pb = ProgramBuilder(entry="main")
+    planner = GlobalPlanner()
+    big = planner.array("table", array_words)
+
+    # Shared helper: two diamonds plus a pseudo-random load.
+    fb = pb.function("score", num_params=2, num_regs=14)
+    i, state = 0, 1
+    addr, scratch, accum, bit = 2, 3, 4, 5
+    fb.block("entry")
+    fb.const(0, dst=accum)
+    fb.binop("shr", state, Imm(11), dst=bit)
+    fb.binop("and", bit, Imm(1), dst=bit)
+    fb.cbr(bit, "walk", "calc")
+    fb.block("walk")
+    fb.binop("shr", state, Imm(13), dst=addr)
+    emit_sum_walk(fb, big, addr, accum, scratch, bit, loads=2, stride_words=4)
+    fb.br("tail")
+    fb.block("calc")
+    emit_compute_chain(fb, accum, 4)
+    fb.br("tail")
+    fb.block("tail")
+    fb.binop("and", i, Imm(3), dst=bit)
+    fb.binop("eq", bit, Imm(0), dst=bit)
+    fb.cbr(bit, "extra", "out")
+    fb.block("extra")
+    fb.binop("shr", state, Imm(17), dst=addr)
+    emit_sum_walk(fb, big, addr, accum, scratch, bit, loads=1, stride_words=4)
+    fb.br("out")
+    fb.block("out")
+    fb.ret(accum)
+    pb.add(fb)
+
+    calls: List[Tuple[str, int]] = []
+    for e in range(evaluators):
+        ename = f"evaluate{e}"
+        ndiamonds = max(3, diamonds - e)
+        fb = pb.function(ename, num_params=2, num_regs=16)
+        i, state = 0, 1
+        j, limit, cond, addr, scratch, accum, bit, tmp = 2, 3, 4, 5, 6, 7, 8, 9
+        fb.block("entry")
+        fb.const(0, dst=j)
+        fb.const(rows, dst=limit)
+        fb.const(0, dst=accum)
+        fb.br("loop")
+        fb.block("loop")
+        fb.binop("lt", j, limit, dst=cond)
+        fb.cbr(cond, "body0", "done")
+        for d in range(ndiamonds):
+            fb.block(f"body{d}")
+            if d == 0:
+                emit_lcg_step(fb, state, scratch)
+            # Mid-range bits: low LCG bits have short periods.
+            fb.binop("shr", state, Imm(d + 7), dst=bit)
+            fb.binop("shr", state, Imm(d + 16), dst=scratch)
+            fb.binop("or", bit, scratch, dst=bit)
+            fb.binop("and", bit, Imm(1), dst=bit)
+            fb.cbr(bit, f"then{d}", f"else{d}")
+            join = f"body{d + 1}" if d + 1 < ndiamonds else "call"
+            fb.block(f"then{d}")
+            # Pseudo-random indexed load: mostly misses, on every path.
+            fb.binop("shr", state, Imm(3 + d), dst=addr)
+            emit_sum_walk(fb, big, addr, accum, scratch, bit, loads=1, stride_words=4)
+            fb.br(join)
+            fb.block(f"else{d}")
+            if rng.random() < 0.5:
+                fb.binop("shr", state, Imm(5 + d), dst=addr)
+                emit_sum_walk(fb, big, addr, accum, scratch, bit, loads=1, stride_words=4)
+            else:
+                emit_compute_chain(fb, accum, 2)
+            fb.br(join)
+        fb.block("call")
+        fb.call("score", [j, state], dst=tmp)
+        fb.binop("add", accum, tmp, dst=accum)
+        fb.binop("add", j, Imm(1), dst=j)
+        fb.br("loop")
+        fb.block("done")
+        fb.binop("and", accum, Imm(0xFFFF_FFFF), dst=accum)
+        fb.ret(accum)
+        pb.add(fb)
+        calls.append((ename, e + 1))
+    _emit_main(pb, iterations, calls, seed)
+    return _finish(pb, planner)
+
+
+# ---------------------------------------------------------------------------
+# interpreter: the li/perl/m88ksim archetype
+# ---------------------------------------------------------------------------
+
+
+def make_interpreter_program(
+    name: str,
+    seed: int = 3,
+    iterations: int = 250,
+    handlers: int = 8,
+    array_words: int = 2 * CACHE_WORDS,
+) -> Program:
+    """A dispatch interpreter: indirect calls through a handler table.
+
+    One or two handlers are miss-heavy (the interpreter's "memory"
+    opcodes); the rest are compute.  One handler recurses (bounded),
+    exercising CCT backedges under indirect dispatch.
+    """
+    rng = Random(seed)
+    pb = ProgramBuilder(entry="main")
+    planner = GlobalPlanner()
+    heap = planner.array("heap", array_words)
+    pair = planner.conflict_pair("cells", 512, CACHE_WORDS)
+
+    handler_names = [f"op{h}" for h in range(handlers)]
+    for h, hname in enumerate(handler_names):
+        fb = pb.function(hname, num_params=2, num_regs=12)
+        i, state = 0, 1
+        addr, scratch, accum, cond = 2, 3, 4, 5
+        fb.block("entry")
+        fb.const(0, dst=accum)
+        if h == 0:
+            # The hot memory opcode: conflict misses plus a store.
+            emit_conflict_ping_pong(fb, pair, i, accum, addr, scratch, rounds=4)
+            fb.store(accum, addr, 0)
+            fb.ret(accum)
+        elif h == 1:
+            # Pseudo-random heap walk.
+            fb.binop("shr", state, Imm(4), dst=addr)
+            emit_sum_walk(fb, heap, addr, accum, scratch, cond, loads=4, stride_words=4)
+            fb.ret(accum)
+        elif h == 2:
+            # Bounded recursion (an eval-like opcode).
+            fb.binop("and", i, Imm(3), dst=scratch)
+            fb.binop("gt", scratch, Imm(0), dst=cond)
+            fb.cbr(cond, "recurse", "leaf")
+            fb.block("recurse")
+            fb.binop("sub", i, Imm(1), dst=scratch)
+            fb.call(hname, [scratch, state], dst=accum)
+            fb.binop("add", accum, Imm(1), dst=accum)
+            fb.ret(accum)
+            fb.block("leaf")
+            emit_compute_chain(fb, accum, 3)
+            fb.ret(accum)
+        elif h == 3 and handlers > 4:
+            # A handler that calls another handler directly.
+            fb.call(handler_names[1], [i, state], dst=accum)
+            fb.binop("xor", accum, state, dst=accum)
+            fb.ret(accum)
+        elif h == 4 and handlers > 5:
+            # A lukewarm handler: light strided traffic.
+            fb.binop("shr", state, Imm(9), dst=addr)
+            emit_sum_walk(fb, heap, addr, accum, scratch, cond, loads=1, stride_words=2)
+            emit_compute_chain(fb, accum, 4)
+            fb.ret(accum)
+        else:
+            emit_compute_chain(fb, accum, 2 + rng.randrange(6))
+            if h % 2:
+                # Occasional single load: a trickle of cold-path misses.
+                fb.binop("shr", state, Imm(6 + h), dst=addr)
+                emit_sum_walk(fb, heap, addr, accum, scratch, cond, loads=1, stride_words=1)
+            fb.binop("xor", accum, state, dst=accum)
+            fb.ret(accum)
+        pb.add(fb)
+
+    fb = pb.function("main", num_params=0, num_regs=16)
+    i, limit, state, scratch, checksum, cond, op, tmp = 0, 1, 2, 3, 4, 5, 6, 7
+    fb.block("entry")
+    fb.const(0, dst=i)
+    fb.const(iterations, dst=limit)
+    fb.const(seed & 0x7FFFFFFF or 1, dst=state)
+    fb.const(0, dst=checksum)
+    fb.br("loop")
+    fb.block("loop")
+    fb.binop("lt", i, limit, dst=cond)
+    fb.cbr(cond, "body", "done")
+    fb.block("body")
+    emit_lcg_step(fb, state, scratch)
+    # Skew the opcode mix: half the time opcode 0 (the hot one).
+    fb.binop("and", state, Imm(1), dst=cond)
+    fb.cbr(cond, "hot", "dispatch")
+    fb.block("hot")
+    fb.const(0, dst=op)
+    fb.br("docall")
+    fb.block("dispatch")
+    fb.binop("shr", state, Imm(7), dst=op)
+    fb.binop("mod", op, Imm(len(handler_names)), dst=op)
+    fb.br("docall")
+    fb.block("docall")
+    fb.icall(op, [i, state], dst=tmp)
+    fb.binop("add", checksum, tmp, dst=checksum)
+    fb.binop("add", i, Imm(1), dst=i)
+    fb.br("loop")
+    fb.block("done")
+    fb.ret(checksum)
+    pb.add(fb)
+
+    program = _finish(pb, planner)
+    # Handler h must be function-table index h for the icall to work.
+    for hname in handler_names:
+        program.function_index(hname)
+    return program
+
+
+# ---------------------------------------------------------------------------
+# layered_calls: the vortex archetype
+# ---------------------------------------------------------------------------
+
+
+def make_layered_calls_program(
+    name: str,
+    seed: int = 4,
+    iterations: int = 30,
+    layers: int = 4,
+    width: int = 3,
+    array_words: int = 2 * CACHE_WORDS,
+) -> Program:
+    """Deep call layers: layer-k functions call layer-(k+1) functions.
+
+    Each function branches on an LCG bit between two distinct callees,
+    so many distinct call chains execute -> a large, bushy CCT with
+    high replication of the leaf procedures.
+    """
+    rng = Random(seed)
+    pb = ProgramBuilder(entry="main")
+    planner = GlobalPlanner()
+    big = planner.array("store", array_words)
+
+    names = [[f"L{layer}_{w}" for w in range(width)] for layer in range(layers)]
+    # Leaves: a miss-heavy one, a lukewarm one, the rest compute.
+    for w, leaf in enumerate(names[-1]):
+        fb = pb.function(leaf, num_params=2, num_regs=12)
+        i, state = 0, 1
+        addr, scratch, accum, cond = 2, 3, 4, 5
+        fb.block("entry")
+        fb.const(0, dst=accum)
+        if w == 0:
+            fb.binop("shr", state, Imm(5), dst=addr)
+            emit_sum_walk(fb, big, addr, accum, scratch, cond, loads=5, stride_words=4)
+        elif w == 1:
+            fb.binop("shr", state, Imm(8), dst=addr)
+            emit_sum_walk(fb, big, addr, accum, scratch, cond, loads=1, stride_words=2)
+            emit_compute_chain(fb, accum, 5)
+        else:
+            emit_compute_chain(fb, accum, 3 + w)
+            if w % 2:
+                fb.binop("and", i, Imm(255), dst=addr)
+                emit_sum_walk(fb, big, addr, accum, scratch, cond, loads=1, stride_words=1)
+            fb.binop("xor", accum, i, dst=accum)
+        fb.ret(accum)
+        pb.add(fb)
+
+    for layer in range(layers - 2, -1, -1):
+        for w, fname in enumerate(names[layer]):
+            callees = rng.sample(names[layer + 1], 2)
+            fb = pb.function(fname, num_params=2, num_regs=12)
+            i, state = 0, 1
+            scratch, accum, cond, tmp = 2, 3, 4, 5
+            fb.block("entry")
+            fb.binop("shr", state, Imm(layer + w), dst=scratch)
+            fb.binop("and", scratch, Imm(1), dst=cond)
+            fb.cbr(cond, "left", "right")
+            fb.block("left")
+            fb.call(callees[0], [i, state], dst=accum)
+            fb.br("join")
+            fb.block("right")
+            fb.call(callees[1], [i, state], dst=accum)
+            fb.br("join")
+            fb.block("join")
+            if rng.random() < 0.5:
+                fb.call(callees[0], [i, state], dst=tmp)
+                fb.binop("add", accum, tmp, dst=accum)
+            fb.ret(accum)
+            pb.add(fb)
+
+    calls = [(fname, 1 + w) for w, fname in enumerate(names[0])]
+    _emit_main(pb, iterations, calls, seed)
+    return _finish(pb, planner)
+
+
+# ---------------------------------------------------------------------------
+# compress: two hot procedures
+# ---------------------------------------------------------------------------
+
+
+def make_compress_program(
+    name: str,
+    seed: int = 5,
+    iterations: int = 80,
+    block_words: int = 32,
+    array_words: int = 4 * CACHE_WORDS,
+) -> Program:
+    """compress-like: a tight coding loop plus a hash-probe procedure."""
+    pb = ProgramBuilder(entry="main")
+    planner = GlobalPlanner()
+    data = planner.array("data", array_words)
+    table = planner.array("hash", 2 * CACHE_WORDS)
+
+    fb = pb.function("code_block", num_params=2, num_regs=16)
+    i, state = 0, 1
+    j, limit, cond, addr, scratch, accum, tmp = 2, 3, 4, 5, 6, 7, 8
+    fb.block("entry")
+    fb.const(0, dst=j)
+    fb.const(block_words, dst=limit)
+    fb.const(0, dst=accum)
+    fb.br("loop")
+    fb.block("loop")
+    fb.binop("lt", j, limit, dst=cond)
+    fb.cbr(cond, "body", "done")
+    fb.block("body")
+    fb.binop("mul", i, Imm(block_words), dst=tmp)
+    fb.binop("add", tmp, j, dst=tmp)
+    emit_sum_walk(fb, data, tmp, accum, addr, scratch, loads=2, stride_words=4)
+    fb.call("probe", [accum, state], dst=scratch)
+    fb.binop("add", accum, scratch, dst=accum)
+    fb.binop("add", j, Imm(1), dst=j)
+    fb.br("loop")
+    fb.block("done")
+    # Flush the coded block: a burst of stores that pressures the
+    # store buffer (Table 2's SB-stall column needs a real source).
+    for burst in range(24):
+        fb.store(accum, addr, 8 * burst)
+    fb.binop("and", accum, Imm(0xFFFF_FFFF), dst=accum)
+    fb.ret(accum)
+    pb.add(fb)
+
+    fb = pb.function("probe", num_params=2, num_regs=12)
+    key, state = 0, 1
+    addr, scratch, cond, accum = 2, 3, 4, 5
+    fb.block("entry")
+    fb.binop("mul", key, Imm(2654435761), dst=addr)
+    emit_sum_walk(fb, table, addr, key, scratch, cond, loads=1, stride_words=4)
+    fb.binop("and", key, Imm(7), dst=cond)
+    fb.cbr(cond, "hit", "miss")
+    fb.block("hit")
+    fb.ret(key)
+    fb.block("miss")
+    # Second probe on a miss.
+    fb.binop("add", addr, Imm(1), dst=addr)
+    emit_sum_walk(fb, table, addr, key, scratch, cond, loads=1, stride_words=4)
+    fb.ret(key)
+    pb.add(fb)
+
+    _emit_main(pb, iterations, [("code_block", 1)], seed)
+    return _finish(pb, planner)
+
+
+# ---------------------------------------------------------------------------
+# recursive: CCT backedges
+# ---------------------------------------------------------------------------
+
+
+def make_recursive_program(
+    name: str,
+    seed: int = 6,
+    iterations: int = 12,
+    depth: int = 7,
+    array_words: int = 4 * CACHE_WORDS,
+) -> Program:
+    """Mutual and self recursion over a small working set (Figure 5)."""
+    pb = ProgramBuilder(entry="main")
+    planner = GlobalPlanner()
+    tree = planner.array("tree", array_words)
+
+    fb = pb.function("walk", num_params=2, num_regs=12)
+    n, state = 0, 1
+    cond, scratch, accum, addr = 2, 3, 4, 5
+    fb.block("entry")
+    fb.binop("le", n, Imm(0), dst=cond)
+    fb.cbr(cond, "leaf", "inner")
+    fb.block("leaf")
+    fb.binop("shr", state, Imm(3), dst=addr)
+    fb.binop("xor", addr, n, dst=addr)
+    fb.const(0, dst=accum)
+    emit_sum_walk(fb, tree, addr, accum, scratch, cond, loads=3, stride_words=4)
+    fb.ret(accum)
+    fb.block("inner")
+    fb.binop("sub", n, Imm(1), dst=scratch)
+    fb.call("helper", [scratch, state], dst=accum)
+    fb.binop("sub", n, Imm(2), dst=scratch)
+    fb.binop("ge", scratch, Imm(0), dst=cond)
+    fb.cbr(cond, "second", "donef")
+    fb.block("second")
+    fb.call("walk", [scratch, state], dst=cond)
+    fb.binop("add", accum, cond, dst=accum)
+    fb.br("donef")
+    fb.block("donef")
+    fb.ret(accum)
+    pb.add(fb)
+
+    fb = pb.function("helper", num_params=2, num_regs=12)
+    n, state = 0, 1
+    cond, scratch, accum = 2, 3, 4
+    fb.block("entry")
+    fb.binop("le", n, Imm(0), dst=cond)
+    fb.cbr(cond, "base", "rec")
+    fb.block("base")
+    fb.const(1, dst=accum)
+    fb.ret(accum)
+    fb.block("rec")
+    # Mutual recursion back into walk.
+    fb.binop("sub", n, Imm(1), dst=scratch)
+    fb.call("walk", [scratch, state], dst=accum)
+    fb.binop("add", accum, Imm(1), dst=accum)
+    fb.ret(accum)
+    pb.add(fb)
+
+    fb = pb.function("driver", num_params=2, num_regs=8)
+    i, state = 0, 1
+    depth_reg, out = 2, 3
+    fb.block("entry")
+    fb.const(depth, dst=depth_reg)
+    fb.call("walk", [depth_reg, state], dst=out)
+    fb.ret(out)
+    pb.add(fb)
+
+    _emit_main(pb, iterations, [("driver", 1)], seed)
+    return _finish(pb, planner)

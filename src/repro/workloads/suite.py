@@ -1,0 +1,190 @@
+"""The SPEC95-named workload suite.
+
+Each entry binds an archetype and parameters to a benchmark name from
+the paper's tables.  ``scale`` multiplies iteration counts: the default
+(1.0) is sized for test/benchmark turnaround on the simulator; the
+experiment harness can raise it for smoother statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.ir.function import Program
+from repro.workloads.archetypes import (
+    make_branchy_program,
+    make_compress_program,
+    make_interpreter_program,
+    make_layered_calls_program,
+    make_loop_kernel_program,
+    make_recursive_program,
+)
+
+
+@dataclass
+class WorkloadSpec:
+    name: str
+    archetype: str
+    suite: str  # "CINT95" or "CFP95"
+    build: Callable[[float], Program] = field(repr=False, default=None)
+
+
+def _scaled(base_iterations: int, scale: float) -> int:
+    return max(4, int(round(base_iterations * scale)))
+
+
+def _spec(name: str, archetype: str, suite: str, builder) -> WorkloadSpec:
+    return WorkloadSpec(name, archetype, suite, builder)
+
+
+SPEC95: Dict[str, WorkloadSpec] = {}
+
+
+def _register(spec: WorkloadSpec) -> None:
+    SPEC95[spec.name] = spec
+
+
+# --- CINT95 ------------------------------------------------------------------
+
+_register(_spec(
+    "099.go", "branchy", "CINT95",
+    lambda scale: make_branchy_program(
+        "099.go", seed=99, iterations=_scaled(56, scale), rows=36, diamonds=12
+    ),
+))
+_register(_spec(
+    "124.m88ksim", "interpreter", "CINT95",
+    lambda scale: make_interpreter_program(
+        "124.m88ksim", seed=124, iterations=_scaled(420, scale), handlers=8
+    ),
+))
+_register(_spec(
+    "126.gcc", "branchy", "CINT95",
+    lambda scale: make_branchy_program(
+        "126.gcc", seed=126, iterations=_scaled(52, scale), rows=38, diamonds=13
+    ),
+))
+_register(_spec(
+    "129.compress", "compress", "CINT95",
+    lambda scale: make_compress_program(
+        "129.compress", seed=129, iterations=_scaled(70, scale)
+    ),
+))
+_register(_spec(
+    "130.li", "interpreter", "CINT95",
+    lambda scale: make_interpreter_program(
+        "130.li", seed=130, iterations=_scaled(380, scale), handlers=10
+    ),
+))
+_register(_spec(
+    "132.ijpeg", "loop_kernel", "CINT95",
+    lambda scale: make_loop_kernel_program(
+        "132.ijpeg", seed=132, iterations=_scaled(55, scale), rows=40,
+        kernels=2, fp_ops=0, conflict_rounds=2,
+    ),
+))
+_register(_spec(
+    "134.perl", "interpreter", "CINT95",
+    lambda scale: make_interpreter_program(
+        "134.perl", seed=134, iterations=_scaled(400, scale), handlers=12
+    ),
+))
+_register(_spec(
+    "147.vortex", "layered_calls", "CINT95",
+    lambda scale: make_layered_calls_program(
+        "147.vortex", seed=147, iterations=_scaled(60, scale), layers=5, width=4
+    ),
+))
+
+# --- CFP95 --------------------------------------------------------------------
+
+_register(_spec(
+    "101.tomcatv", "loop_kernel", "CFP95",
+    lambda scale: make_loop_kernel_program(
+        "101.tomcatv", seed=101, iterations=_scaled(60, scale), rows=56,
+        kernels=1, fp_ops=6, conflict_rounds=4,
+    ),
+))
+_register(_spec(
+    "102.swim", "loop_kernel", "CFP95",
+    lambda scale: make_loop_kernel_program(
+        "102.swim", seed=102, iterations=_scaled(58, scale), rows=52,
+        kernels=1, fp_ops=5, conflict_rounds=3,
+    ),
+))
+_register(_spec(
+    "103.su2cor", "loop_kernel", "CFP95",
+    lambda scale: make_loop_kernel_program(
+        "103.su2cor", seed=103, iterations=_scaled(48, scale), rows=44,
+        kernels=2, fp_ops=4, conflict_rounds=3,
+    ),
+))
+_register(_spec(
+    "104.hydro2d", "loop_kernel", "CFP95",
+    lambda scale: make_loop_kernel_program(
+        "104.hydro2d", seed=104, iterations=_scaled(46, scale), rows=40,
+        kernels=3, fp_ops=4, conflict_rounds=2,
+    ),
+))
+_register(_spec(
+    "107.mgrid", "loop_kernel", "CFP95",
+    lambda scale: make_loop_kernel_program(
+        "107.mgrid", seed=107, iterations=_scaled(52, scale), rows=48,
+        kernels=2, fp_ops=5, conflict_rounds=1, edge_period=8,
+    ),
+))
+_register(_spec(
+    "110.applu", "loop_kernel", "CFP95",
+    lambda scale: make_loop_kernel_program(
+        "110.applu", seed=110, iterations=_scaled(44, scale), rows=42,
+        kernels=2, fp_ops=6, conflict_rounds=2,
+    ),
+))
+_register(_spec(
+    "125.turb3d", "loop_kernel", "CFP95",
+    lambda scale: make_loop_kernel_program(
+        "125.turb3d", seed=125, iterations=_scaled(50, scale), rows=40,
+        kernels=3, fp_ops=5, conflict_rounds=2, edge_period=8,
+    ),
+))
+_register(_spec(
+    "141.apsi", "loop_kernel", "CFP95",
+    lambda scale: make_loop_kernel_program(
+        "141.apsi", seed=141, iterations=_scaled(42, scale), rows=38,
+        kernels=3, fp_ops=4, conflict_rounds=2,
+    ),
+))
+_register(_spec(
+    "145.fpppp", "recursive", "CFP95",
+    lambda scale: make_recursive_program(
+        "145.fpppp", seed=145, iterations=_scaled(16, scale), depth=8
+    ),
+))
+_register(_spec(
+    "146.wave5", "loop_kernel", "CFP95",
+    lambda scale: make_loop_kernel_program(
+        "146.wave5", seed=146, iterations=_scaled(46, scale), rows=44,
+        kernels=2, fp_ops=5, conflict_rounds=3, edge_period=8,
+    ),
+))
+
+CINT95: List[str] = [n for n, s in SPEC95.items() if s.suite == "CINT95"]
+CFP95: List[str] = [n for n, s in SPEC95.items() if s.suite == "CFP95"]
+
+
+def workload_names(suite: str = "SPEC95") -> List[str]:
+    if suite == "SPEC95":
+        return list(SPEC95)
+    if suite == "CINT95":
+        return list(CINT95)
+    if suite == "CFP95":
+        return list(CFP95)
+    raise ValueError(f"unknown suite {suite!r}")
+
+
+def build_workload(name: str, scale: float = 1.0) -> Program:
+    """Build a fresh program for ``name`` (deterministic in scale)."""
+    if name not in SPEC95:
+        raise KeyError(f"unknown workload {name!r}; options: {sorted(SPEC95)}")
+    return SPEC95[name].build(scale)

@@ -1,0 +1,178 @@
+"""CCT statistics (Table 3), serialization, and attribution baselines."""
+
+import pytest
+
+from repro.cct.dct import canonical_record
+from repro.cct.gprof import cct_truth, gprof_attribution, gprof_error, pair_attribution
+from repro.cct.runtime import CCTRuntime
+from repro.cct.serialize import load_cct, save_cct
+from repro.cct.stats import cct_statistics
+from repro.instrument.cctinstr import instrument_context
+from repro.instrument.pathinstr import instrument_paths
+from repro.instrument.tables import ProfilingRuntime
+from repro.lang import compile_source
+from repro.machine.memory import MemoryMap
+from repro.machine.vm import Machine
+
+from tests.conftest import compile_corpus
+
+
+def _combined(corpus_name: str):
+    program = compile_corpus(corpus_name)
+    profiling = ProfilingRuntime(MemoryMap().profiling.base)
+    flow = instrument_paths(
+        program, mode="freq", placement="spanning_tree",
+        runtime=profiling, per_context=True,
+    )
+    instrument_context(program)
+    runtime = CCTRuntime(MemoryMap().cct.base, collect_hw=False, profiling=profiling)
+    machine = Machine(program)
+    machine.path_runtime = profiling
+    machine.cct_runtime = runtime
+    result = machine.run()
+    return program, runtime, flow, result
+
+
+class TestStatistics:
+    def test_basic_counts(self):
+        program, runtime, flow, _ = _combined("deep_calls")
+        stats = cct_statistics(runtime, program=program, flow_functions=flow.functions)
+        # main, l1, l2, two l3 contexts, two l4 contexts under each l3.
+        assert stats.nodes == 9
+        assert stats.max_replication == 4  # l4 appears in 4 contexts
+        assert stats.height_max <= len(program.functions)
+        assert stats.call_sites_used <= stats.call_sites
+        assert stats.size_bytes > 0
+
+    def test_one_path_column(self):
+        """A call site reached by exactly one executed path counts."""
+        program, runtime, flow, _ = _combined("calls")
+        stats = cct_statistics(runtime, program=program, flow_functions=flow.functions)
+        assert stats.call_sites_one_path is not None
+        assert 0 <= stats.call_sites_one_path <= stats.call_sites_used
+
+    def test_one_path_requires_flow_data(self):
+        program, runtime, flow, _ = _combined("calls")
+        stats = cct_statistics(runtime)
+        assert stats.call_sites_one_path is None
+
+    def test_bushy_not_tall(self):
+        """The paper's observation: height << node count for wide trees."""
+        from repro.workloads import make_layered_calls_program
+        from repro.tools.pp import PP
+
+        program = make_layered_calls_program("t", seed=9, iterations=40, layers=5, width=4)
+        run = PP().context_flow(program)
+        stats = cct_statistics(run.cct, run.program, run.flow.functions)
+        assert stats.nodes > 4 * stats.height_max
+
+    def test_empty_cct(self):
+        runtime = CCTRuntime(MemoryMap().cct.base)
+        stats = cct_statistics(runtime)
+        assert stats.nodes == 0
+
+
+class TestSerialization:
+    def test_round_trip_structure(self, corpus_name, tmp_path):
+        program, runtime, flow, _ = _combined(corpus_name)
+        path = str(tmp_path / "profile.cct")
+        save_cct(runtime, path)
+        loaded = load_cct(path)
+        assert canonical_record(loaded.root) == canonical_record(runtime.root)
+        assert loaded.heap_bytes() == runtime.heap_bytes()
+
+    def test_round_trip_path_tables(self, tmp_path):
+        program, runtime, flow, _ = _combined("calls")
+        path = str(tmp_path / "profile.cct")
+        save_cct(runtime, path)
+        loaded = load_cct(path)
+        originals = {
+            (tuple(r.context()), name): table.counts
+            for r in runtime.records
+            for name, table in r.path_tables.items()
+        }
+        reloaded = {
+            (tuple(r.context()), name): table.counts
+            for r in loaded.records
+            for name, table in r.path_tables.items()
+        }
+        assert reloaded == originals
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="not a repro CCT"):
+            load_cct(str(path))
+
+
+class TestGprofProblem:
+    """The paper's motivating example: a callee whose cost depends on
+    its caller.  gprof splits by call counts and gets it wrong; the CCT
+    (and even one-level pairs) keep it right."""
+
+    SOURCE = """
+    fn work(n) {
+        var i = 0; var sum = 0;
+        while (i < n) { sum = sum + i; i = i + 1; }
+        return sum;
+    }
+    fn cheap() { return work(2); }
+    fn expensive() { return work(200); }
+    fn main() {
+        var i = 0; var sum = 0;
+        while (i < 10) {
+            sum = sum + cheap();
+            if (i == 0) { sum = sum + expensive(); }
+            i = i + 1;
+        }
+        return sum;
+    }
+    """
+
+    def _runtime(self):
+        program = compile_source(self.SOURCE)
+        instrument_context(program)
+        runtime = CCTRuntime(MemoryMap().cct.base, collect_hw=True)
+        machine = Machine(program)
+        machine.cct_runtime = runtime
+        machine.run()
+        return runtime
+
+    def test_cct_separates_contexts(self):
+        runtime = self._runtime()
+        truth = cct_truth(runtime, metric=1)
+        cheap_ctx = truth[("main", "cheap", "work")]
+        expensive_ctx = truth[("main", "expensive", "work")]
+        # One expensive call outweighs ten cheap calls put together...
+        assert expensive_ctx > 5 * cheap_ctx
+        # ...and per call the gap is the full 100x loop-length ratio.
+        assert expensive_ctx / 1 > 20 * (cheap_ctx / 10)
+
+    def test_gprof_blurs_them(self):
+        runtime = self._runtime()
+        profile = gprof_attribution(runtime, metric=1)
+        # gprof splits work's total by call counts: 10 cheap calls vs 1
+        # expensive call, so it attributes ~10/11 of the cost to cheap.
+        attributed_cheap = profile.attributed[("cheap", "work")]
+        attributed_expensive = profile.attributed[("expensive", "work")]
+        assert attributed_cheap > attributed_expensive
+
+    def test_pairs_fix_one_level(self):
+        runtime = self._runtime()
+        pairs = pair_attribution(runtime, metric=1)
+        assert pairs.measured[("expensive", "work")] > pairs.measured[("cheap", "work")]
+
+    def test_error_metric_nonzero_for_gprof(self):
+        runtime = self._runtime()
+        errors = gprof_error(runtime, metric=1)
+        assert errors[("cheap", "work")] > 0
+        assert errors[("expensive", "work")] > 0
+
+    def test_gprof_conserves_totals(self):
+        runtime = self._runtime()
+        profile = gprof_attribution(runtime, metric=1)
+        for callee in ("work",):
+            attributed = sum(
+                v for (caller, c), v in profile.attributed.items() if c == callee
+            )
+            assert attributed == pytest.approx(profile.totals[callee])

@@ -1,0 +1,257 @@
+"""On-line CCT construction vs. the defining DCT projection (§4)."""
+
+import pytest
+
+from repro.cct.dct import (
+    DynamicCallGraph,
+    DynamicCallRecorder,
+    canonical_projected,
+    canonical_record,
+    project_cct,
+)
+from repro.cct.runtime import CCTRuntime
+from repro.instrument.cctinstr import instrument_context
+from repro.machine.memory import MemoryMap
+from repro.machine.vm import Machine
+
+from tests.conftest import compile_corpus
+
+
+def _dct(corpus_name: str):
+    program = compile_corpus(corpus_name)
+    machine = Machine(program)
+    recorder = DynamicCallRecorder()
+    machine.tracer = recorder
+    result = machine.run()
+    return recorder.tree, result
+
+
+def _cct(corpus_name: str, **kwargs):
+    program = compile_corpus(corpus_name)
+    instrument_context(program, **kwargs)
+    runtime = CCTRuntime(MemoryMap().cct.base, collect_hw=True)
+    machine = Machine(program)
+    machine.cct_runtime = runtime
+    result = machine.run()
+    return runtime, result
+
+
+class TestOnlineEqualsProjection:
+    """The runtime must build exactly the projected CCT (Figures 4/5)."""
+
+    def test_structures_match(self, corpus_name):
+        dct, clean = _dct(corpus_name)
+        runtime, instrumented = _cct(corpus_name)
+        assert instrumented.return_value == clean.return_value
+        assert canonical_record(runtime.root) == canonical_projected(project_cct(dct))
+
+    def test_frequency_equals_activations(self, corpus_name):
+        dct, _ = _dct(corpus_name)
+        runtime, _ = _cct(corpus_name)
+        activations = dct.size()
+        total_freq = sum(
+            record.metrics[0] for record in runtime.records
+            if record is not runtime.root
+        )
+        assert total_freq == activations
+
+
+class TestRecursion:
+    def test_recursive_calls_share_one_record(self):
+        runtime, _ = _cct("fib")
+        fib_records = [r for r in runtime.records if r.id == "fib"]
+        assert len(fib_records) == 1
+        assert runtime.stats.backedges_created > 0
+
+    def test_mutual_recursion_bounded_depth(self):
+        runtime, _ = _cct("mutual_recursion")
+        names = {r.id for r in runtime.records if r is not runtime.root}
+        # even/odd each appear at most twice: under main, and under the
+        # other (before the ancestor rule kicks in).
+        for record in runtime.records:
+            chain = record.context()
+            assert len(chain) == len(set(chain)), chain
+
+    def test_depth_bounded_by_procedure_count(self, corpus_name):
+        """CCT depth never exceeds the number of procedures (§4.1)."""
+        runtime, _ = _cct(corpus_name)
+        program = compile_corpus(corpus_name)
+        nprocs = len(program.functions)
+        for record in runtime.records:
+            assert len(record.context()) <= nprocs + 1  # + root
+
+
+class TestContexts:
+    def test_deep_calls_distinguish_contexts(self):
+        runtime, _ = _cct("deep_calls")
+        l4_contexts = {
+            " -> ".join(r.context())
+            for r in runtime.records
+            if r.id == "l4"
+        }
+        # l4 is reachable via l3 from two call sites of l2.
+        assert len(l4_contexts) >= 1
+        l3_records = [r for r in runtime.records if r.id == "l3"]
+        assert len(l3_records) == 2  # two call sites in l2
+
+    def test_dcg_loses_what_cct_keeps(self):
+        dct, _ = _dct("deep_calls")
+        dcg = DynamicCallGraph.from_dct(dct)
+        # DCG has one l3 vertex; the CCT kept two contexts.
+        assert dcg.procs["l3"] >= 2
+        runtime, _ = _cct("deep_calls")
+        assert len([r for r in runtime.records if r.id == "l3"]) == 2
+
+
+class TestPartialInstrumentation:
+    """The gCSP save/restore property (§4.2): callees of uninstrumented
+    intermediaries attach to the nearest instrumented ancestor."""
+
+    SOURCE_NAME = "deep_calls"
+
+    def test_skipping_middle_function(self):
+        program = compile_corpus(self.SOURCE_NAME)
+        everything = set(program.functions)
+        instrument_context(program, functions=everything - {"l2"})
+        runtime = CCTRuntime(MemoryMap().cct.base, collect_hw=False)
+        machine = Machine(program)
+        machine.cct_runtime = runtime
+        machine.run()
+        # l3's records now hang off l1 (the nearest instrumented caller).
+        l3_records = [r for r in runtime.records if r.id == "l3"]
+        assert l3_records
+        for record in l3_records:
+            assert record.parent.id == "l1"
+        # No record for the uninstrumented function exists.
+        assert not [r for r in runtime.records if r.id == "l2"]
+
+    def test_slot_upgrade_on_multiple_callees(self):
+        """An uninstrumented middle makes one direct slot see several
+        callees; the runtime upgrades it to a list."""
+        from repro.lang import compile_source
+
+        program = compile_source(
+            """
+            fn middle(x) {
+                if (x % 2 == 0) { return alpha(x); }
+                return beta(x);
+            }
+            fn alpha(x) { return x + 1; }
+            fn beta(x) { return x + 2; }
+            fn main() {
+                var i = 0; var sum = 0;
+                while (i < 6) { sum = sum + middle(i); i = i + 1; }
+                return sum;
+            }
+            """
+        )
+        instrument_context(program, functions={"main", "alpha", "beta"})
+        runtime = CCTRuntime(MemoryMap().cct.base, collect_hw=False)
+        machine = Machine(program)
+        machine.cct_runtime = runtime
+        machine.run()
+        assert runtime.stats.slot_upgrades == 1
+        main_record = next(r for r in runtime.records if r.id == "main")
+        children = {c.id for c in main_record.children()}
+        assert children == {"alpha", "beta"}
+
+
+class TestMoveToFront:
+    def test_indirect_dispatch_builds_lists(self):
+        from repro.workloads import make_interpreter_program
+
+        program = make_interpreter_program("t", seed=7, iterations=120, handlers=6)
+        instrument_context(program)
+        runtime = CCTRuntime(MemoryMap().cct.base, collect_hw=False)
+        machine = Machine(program)
+        machine.cct_runtime = runtime
+        machine.run()
+        assert runtime.stats.list_hits > 0
+        main_record = next(r for r in runtime.records if r.id == "main")
+        from repro.cct.records import CalleeList
+
+        lists = [s for s in main_record.slots if isinstance(s, CalleeList)]
+        assert lists and len(lists[0].nodes) >= 3
+
+
+class TestNonLocalExit:
+    ASM = """
+    func main(0) regs=8 {
+    entry:
+        setjmp r0, r1
+        cbr r0, caught, try
+    try:
+        call r2, walker(r1)
+        ret 0
+    caught:
+        ret r0
+    }
+    func walker(1) regs=4 {
+    entry:
+        call r1, thrower(r0)
+        ret r1
+    }
+    func thrower(1) regs=4 {
+    entry:
+        longjmp r0, 9
+    }
+    """
+
+    def test_longjmp_unwinds_cct_shadow(self):
+        from repro.ir.asm import parse_program
+
+        program = parse_program(self.ASM)
+        instrument_context(program)
+        runtime = CCTRuntime(MemoryMap().cct.base, collect_hw=True)
+        machine = Machine(program)
+        machine.cct_runtime = runtime
+        result = machine.run()
+        assert result.return_value == 9
+        # main's shadow entry survived and was popped by its CctExit.
+        assert runtime.shadow == []
+        contexts = {" -> ".join(r.context()) for r in runtime.records}
+        assert "<root> -> main -> walker -> thrower" in contexts
+
+
+class TestHwMetrics:
+    def test_inclusive_metric_accumulation(self):
+        runtime, result = _cct("calls")
+        main_record = next(r for r in runtime.records if r.id == "main")
+        # main's inclusive instruction count approaches the whole run.
+        assert main_record.metrics[1] > 0
+        for record in runtime.records:
+            if record is runtime.root:
+                assert record.metrics[1] == 0
+                continue
+            assert record.metrics[1] >= 0
+
+    def test_children_cost_within_parent(self):
+        runtime, _ = _cct("deep_calls")
+        by_id = {r.id: r for r in runtime.records if r is not runtime.root}
+        # Inclusive: parent's metric >= each child's (same subtree).
+        l1 = by_id["l1"]
+        for child in l1.children():
+            assert l1.metrics[1] >= child.metrics[1]
+
+
+class TestProbes:
+    def test_backedge_probes_accumulate_incrementally(self):
+        runtime_plain, _ = _cct("loop")
+        runtime_probed, _ = _cct("loop", read_at_backedges=True)
+        main_plain = next(r for r in runtime_plain.records if r.id == "main")
+        main_probed = next(r for r in runtime_probed.records if r.id == "main")
+        # Both measure the same activity modulo the probes' own cost.
+        assert main_probed.metrics[1] >= main_plain.metrics[1]
+
+
+class TestErrors:
+    def test_exit_without_enter(self):
+        from repro.ir.asm import parse_program
+        from repro.ir.instructions import CctExit
+
+        program = parse_program("func main(0) regs=2 {\nentry:\n ret\n}")
+        program.functions["main"].entry.instrs.insert(0, CctExit())
+        machine = Machine(program)
+        machine.cct_runtime = CCTRuntime(MemoryMap().cct.base)
+        with pytest.raises(RuntimeError, match="empty shadow"):
+            machine.run()

@@ -1,0 +1,252 @@
+"""CFG construction and analyses."""
+
+import pytest
+
+from repro.cfg.analysis import (
+    CFGAnalysisError,
+    backedges,
+    check_single_entry_exit,
+    depth_first_order,
+    dominators,
+    is_reducible,
+    natural_loop,
+    reachable_to_exit,
+    reverse_topological_order,
+)
+from repro.cfg.graph import EXIT, build_cfg
+from repro.ir.asm import parse_program
+
+
+def _cfg(body: str, name: str = "main", params: int = 0, regs: int = 8):
+    program = parse_program(f"func {name}({params}) regs={regs} {{\n{body}\n}}")
+    return build_cfg(program.functions[name])
+
+
+DIAMOND = """
+entry:
+    const r0, 1
+    cbr r0, left, right
+left:
+    br join
+right:
+    br join
+join:
+    ret r0
+"""
+
+LOOP = """
+entry:
+    const r0, 0
+    br head
+head:
+    lt r1, r0, 10
+    cbr r1, body, exit
+body:
+    add r0, r0, 1
+    br head
+exit:
+    ret r0
+"""
+
+NESTED_LOOPS = """
+entry:
+    const r0, 0
+    br outer
+outer:
+    lt r1, r0, 5
+    cbr r1, inner_init, out
+inner_init:
+    const r2, 0
+    br inner
+inner:
+    lt r3, r2, 5
+    cbr r3, inner_body, outer_next
+inner_body:
+    add r2, r2, 1
+    br inner
+outer_next:
+    add r0, r0, 1
+    br outer
+out:
+    ret r0
+"""
+
+SELF_LOOP = """
+entry:
+    const r0, 1
+    br spin
+spin:
+    sub r0, r0, 1
+    cbr r0, spin, done
+done:
+    ret r0
+"""
+
+IRREDUCIBLE = """
+entry:
+    const r0, 1
+    cbr r0, a, b
+a:
+    cbr r0, b, out
+b:
+    cbr r0, a, out
+out:
+    ret r0
+"""
+
+INFINITE = """
+entry:
+    const r0, 0
+    br spin
+spin:
+    add r0, r0, 1
+    br spin
+"""
+
+
+class TestBuildCfg:
+    def test_diamond_structure(self):
+        cfg = _cfg(DIAMOND)
+        assert set(cfg.vertices) == {"entry", "left", "right", "join", EXIT}
+        assert cfg.successors("entry") == ["left", "right"]
+        assert cfg.successors("join") == [EXIT]
+        assert sorted(cfg.predecessors("join")) == ["left", "right"]
+
+    def test_edge_kinds(self):
+        cfg = _cfg(DIAMOND)
+        then_edge = cfg.find_edge("entry", "left")
+        else_edge = cfg.find_edge("entry", "right")
+        exit_edge = cfg.find_edge("join", EXIT)
+        assert then_edge.kind == "then"
+        assert else_edge.kind == "else"
+        assert exit_edge.kind == "exit"
+
+    def test_edge_indices_stable_and_unique(self):
+        cfg = _cfg(NESTED_LOOPS)
+        indices = [e.index for e in cfg.edges]
+        assert indices == list(range(len(cfg.edges)))
+
+    def test_multiple_rets_share_exit(self):
+        cfg = _cfg(
+            """
+entry:
+    const r0, 1
+    cbr r0, a, b
+a:
+    ret r0
+b:
+    ret r0
+"""
+        )
+        assert len(cfg.pred[EXIT]) == 2
+
+
+class TestDfsAndOrders:
+    def test_dfs_starts_at_entry(self):
+        order = depth_first_order(_cfg(DIAMOND))
+        assert order[0] == "entry"
+        assert set(order) == {"entry", "left", "right", "join", EXIT}
+
+    def test_unreachable_blocks_excluded(self):
+        cfg = _cfg(
+            """
+entry:
+    ret r0
+island:
+    br island2
+island2:
+    ret r0
+"""
+        )
+        assert "island" not in depth_first_order(cfg)
+
+    def test_reverse_topological_order(self):
+        cfg = _cfg(DIAMOND)
+        order = reverse_topological_order(cfg)
+        position = {v: i for i, v in enumerate(order)}
+        for edge in cfg.edges:
+            assert position[edge.dst] < position[edge.src]
+
+    def test_reverse_topological_raises_on_cycle(self):
+        cfg = _cfg(LOOP)
+        with pytest.raises(CFGAnalysisError, match="cycle"):
+            reverse_topological_order(cfg)
+
+    def test_reverse_topological_with_excluded_backedges(self):
+        cfg = _cfg(LOOP)
+        excluded = frozenset(e.index for e in backedges(cfg))
+        order = reverse_topological_order(cfg, excluded)
+        position = {v: i for i, v in enumerate(order)}
+        for edge in cfg.edges:
+            if edge.index in excluded:
+                continue
+            assert position[edge.dst] < position[edge.src]
+
+
+class TestBackedges:
+    def test_diamond_has_none(self):
+        assert backedges(_cfg(DIAMOND)) == []
+
+    def test_simple_loop(self):
+        edges = backedges(_cfg(LOOP))
+        assert [(e.src, e.dst) for e in edges] == [("body", "head")]
+
+    def test_nested_loops(self):
+        edges = {(e.src, e.dst) for e in backedges(_cfg(NESTED_LOOPS))}
+        assert edges == {("inner_body", "inner"), ("outer_next", "outer")}
+
+    def test_self_loop(self):
+        edges = backedges(_cfg(SELF_LOOP))
+        assert [(e.src, e.dst) for e in edges] == [("spin", "spin")]
+
+    def test_irreducible_graph_yields_some_backedge(self):
+        edges = backedges(_cfg(IRREDUCIBLE))
+        assert len(edges) >= 1
+
+
+class TestDominators:
+    def test_diamond(self):
+        dom = dominators(_cfg(DIAMOND))
+        assert dom["join"] == {"entry", "join"}
+        assert dom["left"] == {"entry", "left"}
+        assert "left" not in dom[EXIT]
+
+    def test_loop_header_dominates_body(self):
+        dom = dominators(_cfg(LOOP))
+        assert "head" in dom["body"]
+
+    def test_entry_dominates_everything(self):
+        dom = dominators(_cfg(NESTED_LOOPS))
+        for vertex, doms in dom.items():
+            assert "entry" in doms
+
+
+class TestLoops:
+    def test_natural_loop_members(self):
+        cfg = _cfg(LOOP)
+        edge = backedges(cfg)[0]
+        assert natural_loop(cfg, edge) == {"head", "body"}
+
+    def test_nested_loop_containment(self):
+        cfg = _cfg(NESTED_LOOPS)
+        loops = {e.dst: natural_loop(cfg, e) for e in backedges(cfg)}
+        assert loops["inner"] <= loops["outer"]
+
+    def test_reducibility(self):
+        assert is_reducible(_cfg(LOOP))
+        assert is_reducible(_cfg(NESTED_LOOPS))
+        assert not is_reducible(_cfg(IRREDUCIBLE))
+
+
+class TestExitReachability:
+    def test_all_reach_exit_in_diamond(self):
+        check_single_entry_exit(_cfg(DIAMOND))
+
+    def test_infinite_loop_fails_check(self):
+        with pytest.raises(CFGAnalysisError, match="cannot reach"):
+            check_single_entry_exit(_cfg(INFINITE))
+
+    def test_reachable_to_exit(self):
+        reach = reachable_to_exit(_cfg(INFINITE))
+        assert "spin" not in reach
+        assert EXIT in reach

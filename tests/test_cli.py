@@ -1,0 +1,186 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+global data[256];
+fn work(n) {
+    var i = 0; var sum = 0;
+    while (i < n) { sum = sum + data[i & 255]; i = i + 1; }
+    return sum;
+}
+fn main(mode) {
+    var i = 0; var out = 0;
+    while (i < 15) {
+        if (mode == 1) { out = out + work(i); } else { out = out + 1; }
+        i = i + 1;
+    }
+    return out;
+}
+"""
+
+ASM = """
+program entry=main
+func main(0) regs=8 {
+entry:
+    const r0, 0
+    const r1, 7
+    br head
+head:
+    lt r2, r0, r1
+    cbr r2, body, done
+body:
+    add r0, r0, 1
+    br head
+done:
+    ret r0
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "program.pl"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    path = tmp_path / "program.asm"
+    path.write_text(ASM)
+    return str(path)
+
+
+class TestRun:
+    def test_mini_language(self, source_file, capsys):
+        assert main(["run", source_file, "1"]) == 0
+        out = capsys.readouterr().out
+        assert "result:" in out
+        assert "INSTRS" in out
+
+    def test_assembly(self, asm_file, capsys):
+        assert main(["run", asm_file]) == 0
+        out = capsys.readouterr().out
+        assert "result: 7" in out
+
+
+class TestFlow:
+    def test_hot_paths_printed(self, source_file, capsys):
+        assert main(["flow", source_file, "1"]) == 0
+        out = capsys.readouterr().out
+        assert "paths by L1D misses" in out
+        assert "hot paths carry" in out
+        assert "overhead:" in out
+
+    def test_threshold_flag(self, source_file, capsys):
+        assert main(["flow", source_file, "1", "--threshold", "0.5"]) == 0
+        assert "hot paths" in capsys.readouterr().out
+
+
+class TestContext:
+    def test_cct_printed(self, source_file, capsys):
+        assert main(["context", source_file, "1"]) == 0
+        out = capsys.readouterr().out
+        assert "calling context tree" in out
+        assert "main -> work" in out
+        assert "records" in out
+
+    def test_merge_sites_flag(self, source_file, capsys):
+        assert main(["context", source_file, "1", "--merge-sites"]) == 0
+        assert "calling context tree" in capsys.readouterr().out
+
+
+class TestCombined:
+    def test_per_context_paths(self, source_file, capsys):
+        assert main(["combined", source_file, "1"]) == 0
+        out = capsys.readouterr().out
+        assert "per-context path profile" in out
+        assert "one-path call sites" in out
+
+    def test_save_cct(self, source_file, tmp_path, capsys):
+        target = str(tmp_path / "out.cct")
+        assert main(["combined", source_file, "1", "--save", target]) == 0
+        from repro.cct.serialize import load_cct
+
+        loaded = load_cct(target)
+        assert any(r.id == "work" for r in loaded.records)
+
+
+class TestCoverage:
+    def test_report_and_untested(self, source_file, capsys):
+        assert main(["coverage", source_file, "2"]) == 0
+        out = capsys.readouterr().out
+        assert "path coverage" in out
+        assert "untested:" in out  # mode==1 branch was never driven
+
+
+class TestTable:
+    def test_table_subset(self, capsys):
+        assert main(
+            ["table", "4", "--scale", "0.25", "--workloads", "130.li"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "130.li" in out
+
+
+class TestContextRenderFlags:
+    def test_tree_output(self, source_file, capsys):
+        assert main(["context", source_file, "1", "--tree"]) == 0
+        out = capsys.readouterr().out
+        assert "<root>" in out
+        assert "|-" in out or "`-" in out
+
+    def test_dot_output(self, source_file, capsys):
+        assert main(["context", source_file, "1", "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph CCT")
+
+
+class TestDiff:
+    def test_identical_inputs(self, source_file, capsys):
+        assert main(["diff", source_file, "--first", "1", "--second", "1"]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_differing_inputs(self, source_file, capsys):
+        assert main(["diff", source_file, "--first", "1", "--second", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "differing path spectra" in out
+        assert "only run" in out
+
+
+class TestOptimize:
+    LOOPY = """
+    global data[64];
+    fn main() {
+        var i = 0; var sum = 0;
+        while (i < 300) {
+            if (i % 4 == 0) { sum = sum + data[i & 63]; }
+            else { sum = sum + 1; }
+            if (sum > 5000) { sum = sum - 5000; }
+            i = i + 1;
+        }
+        return sum;
+    }
+    """
+
+    def test_optimize_reports_speedup(self, tmp_path, capsys):
+        path = tmp_path / "loopy.pl"
+        path.write_text(self.LOOPY)
+        assert main(["optimize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "superblock in main" in out
+        assert "cycles:" in out
+
+
+class TestErrors:
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            main(["run", "/nonexistent/program.pl"])

@@ -1,0 +1,162 @@
+"""DAG compaction ([JSB97], §7.3) and region-attributed cache misses."""
+
+import pytest
+
+from repro.cct.dag import compact_dag, dag_statistics
+from repro.cct.dct import DynamicCallRecorder, project_cct
+from repro.lang import compile_source
+from repro.machine.vm import Machine
+from repro.tools.pp import PP
+
+from tests.conftest import compile_corpus
+
+
+def _dct(source=None, corpus_name=None):
+    program = compile_source(source) if source else compile_corpus(corpus_name)
+    machine = Machine(program)
+    recorder = DynamicCallRecorder()
+    machine.tracer = recorder
+    machine.run()
+    return recorder.tree
+
+
+def _count_projected(root):
+    seen = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        for child in node.children.values():
+            if id(child) not in seen and child.parent is node:
+                seen.add(id(child))
+                stack.append(child)
+    return len(seen)
+
+
+class TestDagCompaction:
+    def test_never_larger_than_tree(self, corpus_name):
+        dct = _dct(corpus_name=corpus_name)
+        dag = compact_dag(dct)
+        assert dag.unique_nodes <= max(dag.tree_size, 1)
+
+    def test_identical_subtrees_shared(self):
+        # Two calls with identical futures share one DAG subtree.
+        dct = _dct(source="""
+            fn leaf() { return 1; }
+            fn main() { return leaf() + leaf() + leaf(); }
+        """)
+        dag = compact_dag(dct)
+        assert dag.tree_size == 4  # main + three leaf activations
+        assert dag.unique_nodes == 2  # main + ONE shared leaf node
+        assert dag.compression == pytest.approx(2.0)
+        leaf = _collect(dag.root, "leaf")
+        assert len(leaf) == 1 and leaf[0].count == 3
+
+    def test_same_context_different_futures_split(self):
+        """The paper's §7.3 point: DAG equivalence looks at the subtree
+        below, so activations with IDENTICAL contexts can land in
+        different DAG nodes — which never happens in a CCT."""
+        dct = _dct(source="""
+            fn helper() { return 2; }
+            fn work(n) {
+                if (n == 0) { return helper(); }  // future: calls helper
+                return n;                           // future: leaf
+            }
+            fn main() { return work(0) + work(1); }
+        """)
+        dag = compact_dag(dct)
+        work_nodes = _collect(dag.root, "work")
+        assert len(work_nodes) == 2  # split by future
+        cct = project_cct(dct)
+        main_node = next(iter(cct.children.values()))
+        cct_work = {
+            child
+            for child in main_node.children.values()
+            if child.proc == "work"
+        }
+        # ...but context keys them differently: two SITES, so the
+        # site-sensitive CCT also has two; merged-site CCT has one.
+        merged = project_cct(dct, by_site=False)
+        merged_main = next(iter(merged.children.values()))
+        merged_work = {
+            child
+            for child in merged_main.children.values()
+            if child.proc == "work"
+        }
+        assert len(merged_work) == 1
+
+    def test_different_contexts_shared_future(self):
+        """And vice versa: different contexts share one DAG node."""
+        dct = _dct(source="""
+            fn leaf() { return 1; }
+            fn a() { return leaf(); }
+            fn b() { return leaf(); }
+            fn main() { return a() + b(); }
+        """)
+        dag = compact_dag(dct)
+        leaf_nodes = _collect(dag.root, "leaf")
+        assert len(leaf_nodes) == 1  # shared despite two contexts
+        cct = project_cct(dct)
+        contexts = set()
+
+        def walk(node, trail):
+            for child in node.children.values():
+                if child.parent is node:
+                    if child.proc == "leaf":
+                        contexts.add(tuple(trail + ["leaf"]))
+                    walk(child, trail + [child.proc])
+
+        walk(cct, [])
+        assert len(contexts) == 2  # the CCT keeps both
+
+    def test_statistics(self):
+        dct = _dct(corpus_name="fib")
+        stats = dag_statistics(compact_dag(dct))
+        assert stats["Compression"] >= 1.0
+        assert stats["DCT activations"] > stats["DAG unique nodes"]
+
+    def test_fib_compresses_well(self):
+        # fib's call tree repeats subtrees massively.
+        dct = _dct(corpus_name="fib")
+        dag = compact_dag(dct)
+        assert dag.compression > 5.0
+
+
+def _collect(root, proc):
+    seen = {}
+    stack = [root]
+    visited = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        if node.proc == proc:
+            seen[id(node)] = node
+        stack.extend(node.children)
+    return list(seen.values())
+
+
+class TestRegionMisses:
+    def test_uninstrumented_misses_are_program_only(self):
+        program = compile_corpus("arrays")
+        machine = Machine(program)
+        machine.run()
+        regions = set(machine.region_misses)
+        assert regions <= {"globals", "stack", "heap"}
+        assert machine.region_misses.get("profiling", 0) == 0
+        assert machine.region_misses.get("cct", 0) == 0
+
+    def test_instrumentation_misses_attributed(self):
+        program = compile_corpus("hash_table")
+        run = PP().context_flow(program)
+        regions = run.machine.region_misses
+        # The CCT heap and/or profiling tables took some misses.
+        assert regions.get("cct", 0) + regions.get("profiling", 0) > 0
+
+    def test_totals_match_counter(self):
+        from repro.machine.counters import Event
+
+        program = compile_corpus("hash_table")
+        run = PP().flow_hw(program)
+        total = sum(run.machine.region_misses.values())
+        assert total == run.result[Event.DC_MISS]

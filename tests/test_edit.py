@@ -1,0 +1,219 @@
+"""Executable editing: layout, insertion, splitting, scavenging."""
+
+import pytest
+
+from repro.cfg.graph import build_cfg
+from repro.edit.editor import EditError, FunctionEditor
+from repro.edit.layout import CODE_BASE, assign_layout
+from repro.ir.asm import parse_program
+from repro.ir.instructions import Const, FrameLoad, FrameStore, Kind, PathAdd
+from repro.machine.vm import Machine
+
+DIAMOND = """
+func main(1) regs=8 {
+entry:
+    const r1, 1
+    cbr r1, left, right
+left:
+    add r0, r0, 10
+    br join
+right:
+    add r0, r0, 20
+    br join
+join:
+    ret r0
+}
+"""
+
+
+def _editor(asm=DIAMOND, name="main"):
+    program = parse_program(asm)
+    function = program.functions[name]
+    return program, function, FunctionEditor(function, build_cfg(function))
+
+
+class TestLayout:
+    def test_addresses_start_at_code_base(self):
+        program = parse_program(DIAMOND)
+        layout = assign_layout(program)
+        assert layout.block_addrs[("main", "entry")][0] == CODE_BASE
+
+    def test_addresses_monotonic_and_disjoint(self):
+        program = parse_program(DIAMOND + DIAMOND.replace("main", "other"))
+        layout = assign_layout(program)
+        all_addrs = [a for addrs in layout.block_addrs.values() for a in addrs]
+        assert len(set(all_addrs)) == len(all_addrs)
+
+    def test_icost_scales_size(self):
+        program = parse_program(DIAMOND)
+        from repro.ir.instructions import HwcAccum
+
+        program.functions["main"].entry.instrs.insert(0, HwcAccum(1, 0, 0))
+        layout = assign_layout(program)
+        addrs = layout.block_addrs[("main", "entry")]
+        assert addrs[1] - addrs[0] == 4 * HwcAccum(1, 0, 0).icost
+
+    def test_function_alignment(self):
+        program = parse_program(DIAMOND + DIAMOND.replace("main", "other"))
+        layout = assign_layout(program)
+        assert layout.function_base["other"] % 32 == 0
+
+
+class TestInsertion:
+    def test_insert_at_entry(self):
+        program, function, editor = _editor()
+        marker = Const(2, 999)
+        editor.insert_at_entry([marker])
+        editor.apply()
+        assert function.entry.instrs[0] is marker
+
+    def test_insert_before_terminator(self):
+        program, function, editor = _editor()
+        marker = Const(2, 999)
+        editor.insert_before_terminator("join", [marker])
+        editor.apply()
+        join = function.block("join")
+        assert join.instrs[-2] is marker
+        assert join.instrs[-1].kind == Kind.RET
+
+    def test_edge_on_unconditional_branch_goes_in_source(self):
+        program, function, editor = _editor()
+        cfg = editor.cfg
+        edge = cfg.find_edge("left", "join")
+        marker = Const(2, 999)
+        editor.insert_on_edge(edge, [marker])
+        editor.apply()
+        left = function.block("left")
+        assert marker in left.instrs
+        assert len(function.blocks) == 4  # no split
+
+    def test_edge_with_single_pred_dst_goes_at_top(self):
+        asm = DIAMOND.replace("cbr r1, left, right", "cbr r1, left, join")
+        # now: entry->left (then), entry->join (else); left->join; join 2 preds
+        program = parse_program(asm.replace("right:\n    add r0, r0, 20\n    br join\n", ""))
+        function = program.functions["main"]
+        editor = FunctionEditor(function, build_cfg(function))
+        edge = editor.cfg.find_edge("entry", "left")
+        marker = Const(2, 999)
+        editor.insert_on_edge(edge, [marker])
+        editor.apply()
+        assert function.block("left").instrs[0] is marker
+
+    def test_critical_edge_is_split(self):
+        program, function, editor = _editor()
+        edge = editor.cfg.find_edge("entry", "left")
+        # join has two preds; make the edge critical by pointing at join
+        critical = editor.cfg.find_edge("left", "join")
+        # left->join is a br edge (not critical). Use a genuinely
+        # critical one: build a cbr whose target has 2 preds.
+        asm = """
+        func main(1) regs=8 {
+        entry:
+            cbr r0, join, other
+        other:
+            br join
+        join:
+            ret r0
+        }
+        """
+        program = parse_program(asm)
+        function = program.functions["main"]
+        editor = FunctionEditor(function, build_cfg(function))
+        edge = editor.cfg.find_edge("entry", "join")
+        marker = Const(2, 999)
+        editor.insert_on_edge(edge, [marker])
+        editor.apply()
+        assert len(function.blocks) == 4  # split block added
+        split = function.blocks[-1]
+        assert marker in split.instrs
+        assert function.entry.terminator.then == split.name
+        # Execution still reaches join.
+        machine = Machine(program)
+        assert machine.run(1).return_value == 1
+
+    def test_edge_into_entry_block_is_split(self):
+        asm = """
+        func main(1) regs=8 {
+        top:
+            sub r0, r0, 1
+            cbr r0, top, out
+        out:
+            ret r0
+        }
+        """
+        program = parse_program(asm)
+        function = program.functions["main"]
+        editor = FunctionEditor(function, build_cfg(function))
+        edge = editor.cfg.find_edge("top", "top")
+        marker = Const(2, 999)
+        editor.insert_on_edge(edge, [marker])
+        editor.apply()
+        # Must NOT have been hoisted to the top of the entry block.
+        assert function.entry.instrs[0] is not marker
+        machine = Machine(program)
+        assert machine.run(3).return_value == 0
+
+    def test_apply_twice_rejected(self):
+        program, function, editor = _editor()
+        editor.apply()
+        with pytest.raises(EditError):
+            editor.apply()
+
+    def test_call_sites_renumbered_after_apply(self):
+        asm = """
+        func main(0) regs=8 {
+        entry:
+            call r0, main()
+            ret r0
+        }
+        """
+        program = parse_program(asm)
+        function = program.functions["main"]
+        editor = FunctionEditor(function, build_cfg(function))
+        editor.insert_at_entry([Const(1, 0)])
+        editor.apply()
+        assert [c.site for c in function.call_sites()] == [0]
+
+
+class TestScavenging:
+    def test_free_register_found(self):
+        program, function, editor = _editor()
+        result = editor.scavenge_register()
+        assert not result.spilled
+        assert result.register == 2  # r0, r1 used
+
+    def test_spill_when_file_full(self):
+        asm = """
+        func main(0) regs=4 {
+        entry:
+            const r0, 0
+            const r1, 1
+            const r2, 2
+            const r3, 3
+            ret r0
+        }
+        """
+        program = parse_program(asm)
+        function = program.functions["main"]
+        editor = FunctionEditor(function, build_cfg(function))
+        result = editor.scavenge_register()
+        assert result.spilled
+        assert result.register == 3
+
+    def test_wrap_spilled_brackets_sequence(self):
+        program, function, editor = _editor()
+        scavenge = editor.scavenge_register()
+        scavenge.spilled = True
+        body = [PathAdd(scavenge.register, 5)]
+        wrapped = editor.wrap_spilled(scavenge, body)
+        kinds = [i.kind for i in wrapped]
+        assert kinds == [
+            Kind.FRAME_STORE, Kind.FRAME_LOAD, Kind.PATH_ADD,
+            Kind.FRAME_STORE, Kind.FRAME_LOAD,
+        ]
+
+    def test_wrap_not_spilled_is_identity(self):
+        program, function, editor = _editor()
+        scavenge = editor.scavenge_register()
+        body = [PathAdd(scavenge.register, 5)]
+        assert editor.wrap_spilled(scavenge, body) == body

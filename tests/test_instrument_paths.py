@@ -1,0 +1,186 @@
+"""Flow-sensitive instrumentation vs. the tracing oracle.
+
+The central correctness property: the instrumented program's counter
+tables hold exactly the path frequencies an independent tracer derives
+from the block sequence — for every corpus program, both placements,
+and both metric modes.
+"""
+
+import pytest
+
+from repro.instrument.pathinstr import instrument_paths
+from repro.instrument.tables import ProfilingRuntime, TableKind
+from repro.machine.counters import Event
+from repro.machine.memory import MemoryMap
+from repro.machine.vm import Machine
+from repro.profiles.oracle import PathOracle
+
+from tests.conftest import compile_corpus
+
+
+def _run_against_oracle(corpus_name: str, placement: str, mode: str):
+    # Oracle run on the uninstrumented program.
+    clean = compile_corpus(corpus_name)
+    clean_machine = Machine(clean)
+    numberings = {}
+    flow_probe = instrument_paths(
+        compile_corpus(corpus_name), mode=mode, placement=placement
+    )
+    numberings = {n: info.numbering for n, info in flow_probe.functions.items()}
+    oracle = PathOracle(numberings)
+    clean_machine.tracer = oracle
+    clean_result = clean_machine.run()
+
+    # Instrumented run.
+    instrumented = compile_corpus(corpus_name)
+    runtime = ProfilingRuntime(MemoryMap().profiling.base)
+    flow = instrument_paths(instrumented, mode=mode, placement=placement, runtime=runtime)
+    machine = Machine(instrumented)
+    machine.path_runtime = runtime
+    result = machine.run()
+    return clean_result, result, oracle, flow
+
+
+@pytest.mark.parametrize("placement", ["simple", "spanning_tree"])
+def test_counts_match_oracle(corpus_name, placement):
+    clean, instrumented, oracle, flow = _run_against_oracle(
+        corpus_name, placement, "freq"
+    )
+    assert instrumented.return_value == clean.return_value
+    for name in flow.functions:
+        assert flow.path_counts(name) == oracle.function_counts(name), name
+
+
+@pytest.mark.parametrize("placement", ["simple", "spanning_tree"])
+def test_hw_mode_counts_match_oracle(corpus_name, placement):
+    clean, instrumented, oracle, flow = _run_against_oracle(
+        corpus_name, placement, "hw"
+    )
+    assert instrumented.return_value == clean.return_value
+    for name in flow.functions:
+        assert flow.path_counts(name) == oracle.function_counts(name), name
+
+
+def test_hw_metrics_are_positive_and_bounded(corpus_name):
+    _, result, _, flow = _run_against_oracle(corpus_name, "spanning_tree", "hw")
+    total_path_instrs = 0
+    for name in flow.functions:
+        for path_sum, values in flow.path_metrics(name).items():
+            assert values[0] > 0  # instructions along an executed path
+            assert values[1] >= 0  # misses
+            total_path_instrs += values[0]
+    # Per-path instruction sums cannot exceed the whole run.
+    assert 0 < total_path_instrs <= result[Event.INSTRS]
+
+
+def test_path_instruction_counts_are_plausible():
+    """A straight-line path's metric should be near its block length."""
+    from repro.lang import compile_source
+
+    program = compile_source(
+        """
+        fn main() {
+            var i = 0;
+            while (i < 50) { i = i + 1; }
+            return i;
+        }
+        """
+    )
+    runtime = ProfilingRuntime(MemoryMap().profiling.base)
+    flow = instrument_paths(program, mode="hw", placement="simple", runtime=runtime)
+    machine = Machine(program)
+    machine.path_runtime = runtime
+    machine.run()
+    profile = flow.path_metrics("main")
+    counts = flow.path_counts("main")
+    # The loop body path dominates: 49 or 50 executions.
+    hottest = max(counts, key=counts.get)
+    per_exec = profile[hottest][0] / counts[hottest]
+    assert 2 <= per_exec <= 40
+
+
+def test_spilled_function_still_counts_correctly():
+    """A function with no free register exercises the spill path."""
+    from repro.ir.asm import parse_program
+
+    asm = """
+    func main(0) regs=4 {
+    entry:
+        const r0, 0
+        const r1, 10
+        const r2, 0
+        br head
+    head:
+        lt r3, r0, r1
+        cbr r3, body, done
+    body:
+        add r2, r2, r0
+        add r0, r0, 1
+        br head
+    done:
+        ret r2
+    }
+    """
+    program = parse_program(asm)
+    runtime = ProfilingRuntime(MemoryMap().profiling.base)
+    flow = instrument_paths(program, mode="freq", placement="simple", runtime=runtime)
+    assert flow.functions["main"].spilled
+    machine = Machine(program)
+    machine.path_runtime = runtime
+    result = machine.run()
+    assert result.return_value == 45
+    counts = flow.path_counts("main")
+    # entry..backedge, 9 backedge..backedge, backedge..exit = 11 paths.
+    assert sum(counts.values()) == 11
+
+
+def test_hash_table_used_for_many_path_functions():
+    """Functions beyond the array limit get hash-table counters."""
+    # 14 sequential diamonds -> 2**14 paths > ARRAY_PATH_LIMIT.
+    lines = ["func main(1) regs=8 {", "entry:", "    const r1, 0", "    br d0"]
+    for d in range(14):
+        nxt = f"d{d + 1}" if d < 13 else "out"
+        lines += [
+            f"d{d}:",
+            f"    and r2, r0, {1 << d}",
+            f"    cbr r2, t{d}, f{d}",
+            f"t{d}:",
+            f"    add r1, r1, 1",
+            f"    br {nxt}",
+            f"f{d}:",
+            f"    br {nxt}",
+        ]
+    lines += ["out:", "    ret r1", "}"]
+    from repro.ir.asm import parse_program
+
+    program = parse_program("\n".join(lines))
+    runtime = ProfilingRuntime(MemoryMap().profiling.base)
+    flow = instrument_paths(program, mode="freq", placement="simple", runtime=runtime)
+    table = flow.functions["main"].table
+    assert table.kind is TableKind.HASH
+    machine = Machine(program)
+    machine.path_runtime = runtime
+    machine.run(0b10101010101010)
+    counts = flow.path_counts("main")
+    assert sum(counts.values()) == 1
+    # The single executed path decodes to the expected block sequence.
+    (path_sum,) = counts
+    path = flow.functions["main"].numbering.regenerate(path_sum)
+    taken = [b for b in path.blocks if b.startswith("t")]
+    assert len(taken) == 7
+
+
+def test_original_blocks_preserved():
+    """Instrumentation adds code but never removes program instructions."""
+    program = compile_corpus("nested_loops")
+    before = sum(
+        1 for f in program.functions.values() for _ in f.instructions()
+    )
+    instrument_paths(program, mode="hw", placement="spanning_tree")
+    after_program_instrs = sum(
+        1
+        for f in program.functions.values()
+        for i in f.instructions()
+        if i.icost == 1 and i.kind.value < 14 and i.kind.value not in (25, 26)
+    )
+    assert after_program_instrs >= before

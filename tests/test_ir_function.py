@@ -1,0 +1,197 @@
+"""Unit tests for functions, blocks, programs, and validation."""
+
+import pytest
+
+from repro.ir.builder import FunctionBuilder, ProgramBuilder
+from repro.ir.function import (
+    Block,
+    Function,
+    IRValidationError,
+    Program,
+    validate_function,
+    validate_program,
+)
+from repro.ir.instructions import Br, Call, Cbr, Const, Imm, Ret
+
+
+def _simple_function(name="f"):
+    fb = FunctionBuilder(name, num_params=1, num_regs=8)
+    fb.block("entry")
+    fb.ret(0)
+    return fb.finish()
+
+
+class TestFunctionStructure:
+    def test_entry_is_first_block(self):
+        fb = FunctionBuilder("f")
+        fb.block("start")
+        fb.br("other")
+        fb.block("other")
+        fb.ret()
+        function = fb.finish()
+        assert function.entry.name == "start"
+
+    def test_block_lookup(self):
+        function = _simple_function()
+        assert function.block("entry").name == "entry"
+        with pytest.raises(KeyError):
+            function.block("missing")
+
+    def test_duplicate_block_rejected(self):
+        function = Function("f")
+        function.add_block(Block("a", [Ret(None)]))
+        with pytest.raises(IRValidationError):
+            function.add_block(Block("a", [Ret(None)]))
+
+    def test_params_exceed_registers(self):
+        with pytest.raises(IRValidationError):
+            Function("f", num_params=9, num_regs=8)
+
+    def test_max_register_used(self):
+        fb = FunctionBuilder("f", num_params=2, num_regs=16)
+        fb.block("entry")
+        fb.emit(Const(7, 1))
+        fb.ret(7)
+        assert fb.finish().max_register_used() == 7
+
+    def test_call_site_numbering_in_block_order(self):
+        fb = FunctionBuilder("f", num_regs=8)
+        fb.block("entry")
+        fb.call("g", want_result=False)
+        fb.call("h", want_result=False)
+        fb.br("next")
+        fb.block("next")
+        fb.call("g", want_result=False)
+        fb.ret()
+        function = fb.finish()
+        assert [c.site for c in function.call_sites()] == [0, 1, 2]
+
+    def test_size_weights_icost(self):
+        from repro.ir.instructions import HwcAccum
+
+        function = Function("f")
+        function.add_block(Block("entry", [HwcAccum(0, 0, 0), Ret(None)]))
+        assert function.size_in_instructions() == HwcAccum(0, 0, 0).icost + 1
+
+
+class TestValidation:
+    def test_empty_function_rejected(self):
+        with pytest.raises(IRValidationError):
+            validate_function(Function("f"))
+
+    def test_empty_block_rejected(self):
+        function = Function("f")
+        function.add_block(Block("entry", []))
+        with pytest.raises(IRValidationError, match="empty"):
+            validate_function(function)
+
+    def test_missing_terminator_rejected(self):
+        function = Function("f")
+        function.add_block(Block("entry", [Const(0, 1)]))
+        with pytest.raises(IRValidationError, match="terminator"):
+            validate_function(function)
+
+    def test_terminator_mid_block_rejected(self):
+        function = Function("f")
+        function.add_block(Block("entry", [Ret(None), Const(0, 1), Ret(None)]))
+        with pytest.raises(IRValidationError, match="not last"):
+            validate_function(function)
+
+    def test_register_out_of_range_rejected(self):
+        function = Function("f", num_regs=4)
+        function.add_block(Block("entry", [Const(4, 1), Ret(None)]))
+        with pytest.raises(IRValidationError, match="out of"):
+            validate_function(function)
+
+    def test_unknown_branch_target_rejected(self):
+        function = Function("f")
+        function.add_block(Block("entry", [Br("nowhere")]))
+        with pytest.raises(IRValidationError, match="unknown block"):
+            validate_function(function)
+
+    def test_cbr_with_identical_arms_rejected(self):
+        function = Function("f")
+        function.add_block(Block("entry", [Cbr(0, "entry", "entry")]))
+        with pytest.raises(IRValidationError, match="identical"):
+            validate_function(function)
+
+    def test_call_to_unknown_function_rejected(self):
+        program = Program()
+        function = Function("f")
+        function.add_block(Block("entry", [Call("ghost", []), Ret(None)]))
+        program.add_function(function)
+        with pytest.raises(IRValidationError, match="unknown function"):
+            validate_function(function, program)
+
+    def test_program_entry_must_exist(self):
+        program = Program(entry="main")
+        program.add_function(_simple_function("f"))
+        with pytest.raises(IRValidationError, match="entry"):
+            validate_program(program)
+
+    def test_function_table_entries_must_exist(self):
+        program = Program(entry="f")
+        program.add_function(_simple_function("f"))
+        program.function_table.append("ghost")
+        with pytest.raises(IRValidationError, match="function table"):
+            validate_program(program)
+
+
+class TestProgram:
+    def test_duplicate_function_rejected(self):
+        program = Program()
+        program.add_function(_simple_function("f"))
+        with pytest.raises(IRValidationError):
+            program.add_function(_simple_function("f"))
+
+    def test_function_index_registers_once(self):
+        program = Program()
+        assert program.function_index("a") == 0
+        assert program.function_index("b") == 1
+        assert program.function_index("a") == 0
+        assert program.function_table == ["a", "b"]
+
+
+class TestBuilderDiscipline:
+    def test_emit_without_block_fails(self):
+        fb = FunctionBuilder("f")
+        with pytest.raises(IRValidationError):
+            fb.emit(Const(0, 1))
+
+    def test_emit_after_terminator_fails(self):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.ret()
+        with pytest.raises(IRValidationError, match="terminated"):
+            fb.emit(Const(0, 1))
+
+    def test_new_block_requires_terminated_previous(self):
+        fb = FunctionBuilder("f")
+        fb.block("a")
+        with pytest.raises(IRValidationError, match="not terminated"):
+            fb.block("b")
+
+    def test_finish_requires_termination(self):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.emit(Const(0, 1))
+        with pytest.raises(IRValidationError):
+            fb.finish()
+
+    def test_register_exhaustion(self):
+        fb = FunctionBuilder("f", num_regs=2)
+        fb.block("entry")
+        fb.const(1)
+        fb.const(2)
+        with pytest.raises(IRValidationError, match="out of registers"):
+            fb.const(3)
+
+    def test_program_builder_validates(self):
+        pb = ProgramBuilder(entry="main")
+        fb = pb.function("main")
+        fb.block("entry")
+        fb.call("ghost", want_result=False)
+        fb.ret(Imm(0))
+        pb.add(fb)
+        with pytest.raises(IRValidationError):
+            pb.finish()

@@ -1,0 +1,130 @@
+"""Unit tests for the instruction set."""
+
+import pytest
+
+from repro.ir.instructions import (
+    BINARY_OPS,
+    Binop,
+    Br,
+    Call,
+    Cbr,
+    Const,
+    FBinop,
+    HwcAccum,
+    ICall,
+    Imm,
+    Kind,
+    Load,
+    Longjmp,
+    Move,
+    PathCommit,
+    Ret,
+    Store,
+    is_terminator,
+)
+
+
+class TestBinaryOps:
+    def test_add_sub_mul(self):
+        assert BINARY_OPS["add"](3, 4) == 7
+        assert BINARY_OPS["sub"](3, 4) == -1
+        assert BINARY_OPS["mul"](3, 4) == 12
+
+    def test_div_truncates_toward_zero(self):
+        assert BINARY_OPS["div"](7, 2) == 3
+        assert BINARY_OPS["div"](-7, 2) == -3
+        assert BINARY_OPS["div"](7, -2) == -3
+        assert BINARY_OPS["div"](-7, -2) == 3
+
+    def test_div_by_zero_is_zero(self):
+        assert BINARY_OPS["div"](5, 0) == 0
+        assert BINARY_OPS["mod"](5, 0) == 0
+
+    def test_mod_matches_c_semantics(self):
+        assert BINARY_OPS["mod"](7, 3) == 1
+        assert BINARY_OPS["mod"](-7, 3) == -1
+        assert BINARY_OPS["mod"](7, -3) == 1
+
+    def test_comparisons_produce_flags(self):
+        assert BINARY_OPS["lt"](1, 2) == 1
+        assert BINARY_OPS["lt"](2, 1) == 0
+        assert BINARY_OPS["eq"](5, 5) == 1
+        assert BINARY_OPS["ge"](5, 5) == 1
+        assert BINARY_OPS["ne"](5, 5) == 0
+
+    def test_bitwise(self):
+        assert BINARY_OPS["and"](0b1100, 0b1010) == 0b1000
+        assert BINARY_OPS["or"](0b1100, 0b1010) == 0b1110
+        assert BINARY_OPS["xor"](0b1100, 0b1010) == 0b0110
+        assert BINARY_OPS["shl"](1, 4) == 16
+        assert BINARY_OPS["shr"](16, 4) == 1
+
+
+class TestOperandTracking:
+    def test_binop_reg_operands(self):
+        instr = Binop("add", 2, 0, 1)
+        assert instr.operands() == (0, 1)
+        assert instr.defined() == (2,)
+
+    def test_binop_imm_operand_excluded(self):
+        instr = Binop("add", 2, 0, Imm(5))
+        assert instr.operands() == (0,)
+
+    def test_load_store(self):
+        assert Load(1, 0, 8).operands() == (0,)
+        assert Load(1, 0, 8).defined() == (1,)
+        assert Store(2, 0, 8).operands() == (2, 0)
+        assert Store(Imm(7), 0).operands() == (0,)
+
+    def test_call_args(self):
+        call = Call("f", [0, Imm(3), 2], dst=5)
+        assert call.operands() == (0, 2)
+        assert call.defined() == (5,)
+        assert Call("f", [], dst=None).defined() == ()
+
+    def test_icall_includes_function_register(self):
+        icall = ICall(4, [0], dst=1)
+        assert icall.operands() == (4, 0)
+
+    def test_const_and_move(self):
+        assert Const(3, 42).defined() == (3,)
+        assert Move(1, 0).operands() == (0,)
+
+
+class TestTerminators:
+    def test_terminator_kinds(self):
+        assert is_terminator(Br("x"))
+        assert is_terminator(Cbr(0, "a", "b"))
+        assert is_terminator(Ret(None))
+        assert is_terminator(Longjmp(0, Imm(1)))
+
+    def test_non_terminators(self):
+        assert not is_terminator(Const(0, 1))
+        assert not is_terminator(Call("f", []))
+        assert not is_terminator(PathCommit(0, 0, 0))
+
+
+class TestValidationOfOps:
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(ValueError):
+            Binop("frobnicate", 0, 1, 2)
+
+    def test_unknown_fbinop_rejected(self):
+        with pytest.raises(ValueError):
+            FBinop("add", 0, 1, 2)  # integer op on the FP unit
+
+
+class TestInstrumentationCosts:
+    """The paper's stated costs (e.g. 13+ instructions for HwcAccum §3.1)."""
+
+    def test_hwc_accum_matches_paper(self):
+        assert HwcAccum(0, 0, 0).icost >= 13
+
+    def test_ordinary_instructions_cost_one(self):
+        assert Const(0, 1).icost == 1
+        assert Binop("add", 0, 1, 2).icost == 1
+
+    def test_commit_costs_more_than_increment(self):
+        from repro.ir.instructions import PathAdd
+
+        assert PathCommit(0, 0, 0).icost > PathAdd(0, 1).icost

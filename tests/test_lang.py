@@ -1,0 +1,262 @@
+"""The mini-language front end: lexer, parser, sema, codegen."""
+
+import pytest
+
+from repro.lang import LangError, compile_source, parse_source, tokenize
+from repro.lang import ast
+from repro.machine.vm import Machine
+
+
+def run_main(source: str):
+    return Machine(compile_source(source)).run().return_value
+
+
+class TestLexer:
+    def test_tokens(self):
+        tokens = tokenize("fn main() { return 1 + 2.5; } // comment")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] == "fn"
+        assert "float" in kinds and "int" in kinds
+        assert kinds[-1] == "eof"
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a <= b == c && d || e >> 2")
+        texts = [t.text for t in tokens if t.kind == "op"]
+        assert texts == ["<=", "==", "&&", "||", ">>"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+
+    def test_bad_character(self):
+        with pytest.raises(LangError, match="unexpected"):
+            tokenize("fn main() { $ }")
+
+    def test_hash_comments(self):
+        tokens = tokenize("# leading comment\nfn")
+        assert tokens[0].kind == "fn"
+
+
+class TestParser:
+    def test_precedence(self):
+        module = parse_source("fn main() { return 1 + 2 * 3; }")
+        ret = module.functions[0].body[0]
+        assert isinstance(ret.value, ast.BinOp)
+        assert ret.value.op == "+"
+        assert ret.value.right.op == "*"
+
+    def test_comparison_binds_looser_than_arith(self):
+        module = parse_source("fn main() { return 1 + 2 < 4; }")
+        expr = module.functions[0].body[0].value
+        assert expr.op == "<"
+
+    def test_logical_binds_loosest(self):
+        module = parse_source("fn main() { return 1 < 2 && 3 < 4; }")
+        expr = module.functions[0].body[0].value
+        assert isinstance(expr, ast.Logical)
+        assert expr.op == "&&"
+
+    def test_or_binds_looser_than_and(self):
+        module = parse_source("fn main() { return 1 && 0 || 1; }")
+        expr = module.functions[0].body[0].value
+        assert expr.op == "||"
+
+    def test_else_if_chain(self):
+        module = parse_source(
+            "fn main() { if (1) { return 1; } else if (2) { return 2; } else { return 3; } }"
+        )
+        outer = module.functions[0].body[0]
+        assert isinstance(outer.else_body[0], ast.If)
+
+    def test_parse_errors_report_lines(self):
+        with pytest.raises(LangError, match="line 2"):
+            parse_source("fn main() {\n return ; ; }")
+
+    def test_assignment_target_checked(self):
+        with pytest.raises(LangError, match="assignment"):
+            parse_source("fn main() { 1 + 2 = 3; }")
+
+
+class TestSema:
+    def test_undefined_variable(self):
+        with pytest.raises(LangError, match="undefined variable"):
+            compile_source("fn main() { return ghost; }")
+
+    def test_undefined_function(self):
+        with pytest.raises(LangError, match="undefined function"):
+            compile_source("fn main() { return ghost(); }")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(LangError, match="takes"):
+            compile_source("fn f(a, b) { return a; } fn main() { return f(1); }")
+
+    def test_undefined_array(self):
+        with pytest.raises(LangError, match="array"):
+            compile_source("fn main() { return nope[0]; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(LangError, match="break"):
+            compile_source("fn main() { break; return 0; }")
+
+    def test_main_required(self):
+        with pytest.raises(LangError, match="main"):
+            compile_source("fn helper() { return 0; }")
+
+    def test_duplicate_function(self):
+        with pytest.raises(LangError, match="duplicate function"):
+            compile_source("fn main() { return 0; } fn main() { return 1; }")
+
+    def test_duplicate_global(self):
+        with pytest.raises(LangError, match="duplicate global"):
+            compile_source("global a[4]; global a[4]; fn main() { return 0; }")
+
+    def test_assignment_to_undeclared(self):
+        with pytest.raises(LangError, match="undeclared"):
+            compile_source("fn main() { x = 3; return x; }")
+
+    def test_intrinsic_arity(self):
+        with pytest.raises(LangError, match="intrinsic"):
+            compile_source("fn main() { return fadd(1.0); }")
+
+
+class TestCodegenSemantics:
+    """Compiled programs must agree with a Python reference."""
+
+    def test_gcd(self):
+        source = """
+        fn gcd(a, b) {
+            while (b != 0) { var t = b; b = a % b; a = t; }
+            return a;
+        }
+        fn main() { return gcd(1071, 462); }
+        """
+        assert run_main(source) == 21
+
+    def test_sieve(self):
+        source = """
+        global flags[100];
+        fn main() {
+            var i = 2; var count = 0;
+            while (i < 100) {
+                if (flags[i] == 0) {
+                    count = count + 1;
+                    var j = i * i;
+                    while (j < 100) { flags[j] = 1; j = j + i; }
+                }
+                i = i + 1;
+            }
+            return count;
+        }
+        """
+        assert run_main(source) == 25  # primes below 100
+
+    def test_short_circuit_and_skips_rhs(self):
+        source = """
+        global hits[1];
+        fn touch() { hits[0] = hits[0] + 1; return 1; }
+        fn main() {
+            var a = 0;
+            if (a != 0 && touch()) { return 99; }
+            return hits[0];
+        }
+        """
+        assert run_main(source) == 0  # touch() never ran
+
+    def test_short_circuit_or_skips_rhs(self):
+        source = """
+        global hits[1];
+        fn touch() { hits[0] = hits[0] + 1; return 1; }
+        fn main() {
+            var a = 1;
+            if (a == 1 || touch()) { return hits[0]; }
+            return 99;
+        }
+        """
+        assert run_main(source) == 0
+
+    def test_unary_ops(self):
+        assert run_main("fn main() { return -5 + 8; }") == 3
+        assert run_main("fn main() { return !0 + !7; }") == 1
+
+    def test_nested_calls_and_expressions(self):
+        source = """
+        fn f(x) { return x * 2; }
+        fn main() { return f(f(f(1))) + f(3); }
+        """
+        assert run_main(source) == 14
+
+    def test_while_with_complex_condition(self):
+        source = """
+        fn main() {
+            var i = 0; var j = 10;
+            while (i < 5 && j > 0) { i = i + 1; j = j - 2; }
+            return i * 100 + j;
+        }
+        """
+        assert run_main(source) == 500
+
+    def test_early_return_in_loop(self):
+        source = """
+        fn find(target) {
+            var i = 0;
+            while (i < 100) {
+                if (i * i >= target) { return i; }
+                i = i + 1;
+            }
+            return -1;
+        }
+        fn main() { return find(50); }
+        """
+        assert run_main(source) == 8
+
+    def test_dead_code_after_return_dropped(self):
+        source = """
+        fn main() {
+            return 1;
+            return 2;
+        }
+        """
+        assert run_main(source) == 1
+
+    def test_implicit_return_zero(self):
+        assert run_main("fn main() { var x = 5; x = x + 1; }") == 0
+
+    def test_array_aliasing_through_calls(self):
+        source = """
+        global buf[8];
+        fn set(i, v) { buf[i] = v; return 0; }
+        fn get(i) { return buf[i]; }
+        fn main() {
+            set(3, 42);
+            set(4, get(3) + 1);
+            return buf[4];
+        }
+        """
+        assert run_main(source) == 43
+
+    def test_corpus_checksums_stable(self, corpus_name):
+        """Golden values: corpus programs are deterministic."""
+        from tests.conftest import compile_corpus
+
+        first = Machine(compile_corpus(corpus_name)).run().return_value
+        second = Machine(compile_corpus(corpus_name)).run().return_value
+        assert first == second
+
+
+class TestCodegenRegisterDiscipline:
+    def test_register_exhaustion_reported(self):
+        declarations = "\n".join(f"var v{i} = {i};" for i in range(40))
+        source = f"fn main() {{ {declarations} return v0; }}"
+        with pytest.raises(LangError, match="registers"):
+            compile_source(source, num_regs=32)
+
+    def test_temps_are_recycled(self):
+        # A long expression chain would exhaust a non-recycling pool.
+        expr = " + ".join(str(i) for i in range(60))
+        assert run_main(f"fn main() {{ return {expr}; }}") == sum(range(60))
+
+    def test_deep_nesting(self):
+        expr = "1"
+        for _ in range(30):
+            expr = f"({expr} + 1)"
+        assert run_main(f"fn main() {{ return {expr}; }}") == 31

@@ -1,0 +1,215 @@
+"""Corner coverage: kernels, layout effects, serialization with signals,
+oracle tainting under longjmp, disassembly of instrumented code."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.machine.counters import Event
+from repro.machine.memory import MemoryMap
+from repro.machine.vm import Machine
+from repro.tools.pp import PP, clone_program
+
+
+class TestWorkloadKernels:
+    def test_conflict_pair_is_cache_aligned(self):
+        from repro.workloads.kernels import GlobalPlanner
+
+        planner = GlobalPlanner()
+        planner.array("padding", 37)
+        first, second = planner.conflict_pair("cp", 512, 2048)
+        assert (second.offset_words - first.offset_words) % 2048 == 0
+
+    def test_dispatch_width_must_be_power_of_two(self):
+        from repro.ir.builder import FunctionBuilder
+        from repro.workloads.kernels import emit_dispatch_tree
+
+        fb = FunctionBuilder("f", num_params=1, num_regs=8)
+        fb.block("entry")
+        fb.br("d_0_8")
+        with pytest.raises(ValueError, match="power of two"):
+            emit_dispatch_tree(fb, 0, 6, "d", "out", 1, lambda f, i: None)
+
+    def test_dispatch_tree_reaches_every_leaf(self):
+        from repro.ir.builder import FunctionBuilder
+        from repro.ir.function import Program
+        from repro.ir.instructions import Imm
+        from repro.workloads.kernels import emit_dispatch_tree
+
+        fb = FunctionBuilder("main", num_params=1, num_regs=8)
+        fb.block("entry")
+        fb.br("d_0_8")
+
+        def leaf(f, index):
+            f.const(100 + index, dst=2)
+
+        emit_dispatch_tree(fb, 0, 8, "d", "out", 1, leaf)
+        fb.block("out")
+        fb.ret(2)
+        program = Program(entry="main")
+        program.add_function(fb.finish())
+        for selector in range(8):
+            result = Machine(program).run(selector)
+            assert result.return_value == 100 + selector
+
+    def test_lcg_is_deterministic_and_bounded(self):
+        from repro.ir.builder import FunctionBuilder
+        from repro.ir.function import Program
+        from repro.workloads.kernels import LCG_MASK, emit_lcg_step
+
+        fb = FunctionBuilder("main", num_params=1, num_regs=4)
+        fb.block("entry")
+        emit_lcg_step(fb, 0, 1)
+        fb.ret(0)
+        program = Program(entry="main")
+        program.add_function(fb.finish())
+        first = Machine(program).run(12345).return_value
+        second = Machine(program).run(12345).return_value
+        assert first == second
+        assert 0 <= first <= LCG_MASK
+
+
+class TestLayoutEffects:
+    def test_layout_changes_icache_behaviour_not_semantics(self):
+        from repro.opt.layout import profile_guided_layout
+
+        source = """
+        fn main() {
+            var i = 0; var sum = 0;
+            while (i < 800) {
+                if (i % 97 == 0) { sum = sum + 3; }
+                else { sum = sum + 1; }
+                i = i + 1;
+            }
+            return sum;
+        }
+        """
+        program = compile_source(source)
+        profiled = PP().flow_freq(program)
+        baseline = Machine(clone_program(program)).run()
+        profile_guided_layout(program, profiled.path_profile)
+        relaid = Machine(program).run()
+        assert relaid.return_value == baseline.return_value
+        # Same dynamic instruction stream; only fetch addresses moved.
+        assert relaid[Event.INSTRS] == baseline[Event.INSTRS]
+
+
+class TestSerializationWithSignals:
+    def test_signal_roots_survive_round_trip(self, tmp_path):
+        from repro.cct.dct import canonical_record
+        from repro.cct.runtime import CCTRuntime
+        from repro.cct.serialize import load_cct, save_cct
+        from repro.instrument.cctinstr import instrument_context
+
+        program = compile_source(
+            """
+            fn tick(n) { return n; }
+            fn main() {
+                var i = 0; var s = 0;
+                while (i < 200) { s = s + i; i = i + 1; }
+                return s;
+            }
+            """
+        )
+        instrument_context(program)
+        runtime = CCTRuntime(MemoryMap().cct.base, collect_hw=False)
+        machine = Machine(program)
+        machine.cct_runtime = runtime
+        machine.install_signal(handler="tick", period=150)
+        machine.run()
+        assert machine.signals_delivered > 0
+        path = str(tmp_path / "signals.cct")
+        save_cct(runtime, path)
+        loaded = load_cct(path)
+        assert canonical_record(loaded.root) == canonical_record(runtime.root)
+        assert any(r.id == "tick" and r.parent is loaded.root
+                   for r in loaded.records)
+
+
+class TestOracleUnderLongjmp:
+    ASM = """
+    program entry=main
+    func main(0) regs=8 {
+    entry:
+        setjmp r0, r1
+        cbr r0, after, work
+    work:
+        call r2, jumper(r1)
+        ret 0
+    after:
+        const r3, 0
+        br head
+    head:
+        lt r4, r3, 5
+        cbr r4, body, done
+    body:
+        add r3, r3, 1
+        br head
+    done:
+        ret r3
+    }
+    func jumper(1) regs=4 {
+    entry:
+        longjmp r0, 7
+    }
+    """
+
+    def test_oracle_survives_and_flags_drops(self):
+        from repro.instrument.pathinstr import instrument_paths
+        from repro.ir.asm import parse_program
+        from repro.profiles.oracle import PathOracle
+
+        probe = instrument_paths(parse_program(self.ASM), mode="freq")
+        numberings = {n: i.numbering for n, i in probe.functions.items()}
+        oracle = PathOracle(numberings)
+        machine = Machine(parse_program(self.ASM))
+        machine.tracer = oracle
+        result = machine.run()
+        assert result.return_value == 5
+        # jumper never returned normally; its in-flight path dropped.
+        assert oracle.dropped_paths >= 1
+        # The resumed loop's backedge paths were still counted.
+        assert sum(oracle.function_counts("main").values()) >= 4
+
+    def test_instrumented_run_does_not_crash(self):
+        from repro.instrument.pathinstr import instrument_paths
+        from repro.instrument.tables import ProfilingRuntime
+        from repro.ir.asm import parse_program
+
+        program = parse_program(self.ASM)
+        runtime = ProfilingRuntime(MemoryMap().profiling.base)
+        instrument_paths(program, mode="freq", runtime=runtime)
+        machine = Machine(program)
+        machine.path_runtime = runtime
+        assert machine.run().return_value == 5
+
+
+class TestDisassemblyOfInstrumentedCode:
+    def test_pseudo_ops_render(self):
+        from repro.instrument.pathinstr import instrument_paths
+        from repro.ir.disasm import format_program
+
+        program = compile_source(
+            "fn main() { var i = 0; while (i < 5) { i = i + 1; } return i; }"
+        )
+        instrument_paths(program, mode="hw")
+        text = format_program(program)
+        assert "!path.reset" in text
+        assert "!hwc.zero" in text
+        assert "!hwc.accum" in text
+
+    def test_cct_ops_render(self):
+        from repro.instrument.cctinstr import instrument_context
+        from repro.ir.disasm import format_program
+
+        program = compile_source(
+            """
+            fn f(x) { return x; }
+            fn main() { var i = 0; while (i < 3) { i = i + f(i); i = i + 1; } return i; }
+            """
+        )
+        instrument_context(program, read_at_backedges=True)
+        text = format_program(program)
+        assert "!cct.enter" in text
+        assert "!cct.call" in text
+        assert "!cct.exit" in text
+        assert "!cct.probe" in text

@@ -1,0 +1,144 @@
+"""Path-profile consumers: layout and superblock formation."""
+
+import pytest
+
+from repro.ir.function import validate_program
+from repro.machine.counters import Event
+from repro.machine.vm import Machine
+from repro.opt.layout import profile_guided_layout
+from repro.opt.superblock import form_superblock
+from repro.tools.pp import PP, clone_program
+
+from tests.conftest import compile_corpus
+
+#: A loop whose body crosses several jump-linked blocks: straightening
+#: has something to remove.
+LOOPY_SOURCE = """
+global data[1024];
+
+fn main() {
+    var i = 0; var sum = 0;
+    while (i < 500) {
+        if (i % 16 == 0) {
+            sum = sum + data[i & 1023];
+        } else {
+            sum = sum + i;
+        }
+        if (sum > 100000) { sum = sum - 100000; }
+        i = i + 1;
+    }
+    return sum;
+}
+"""
+
+
+def _profiled(source_name=None, source=None):
+    from repro.lang import compile_source
+
+    program = compile_source(source) if source else compile_corpus(source_name)
+    pp = PP()
+    run = pp.flow_freq(program)
+    return program, run
+
+
+class TestLayout:
+    def test_semantics_preserved(self, corpus_name):
+        program, run = _profiled(source_name=corpus_name)
+        before = Machine(clone_program(program)).run()
+        profile_guided_layout(program, run.path_profile)
+        validate_program(program)
+        after = Machine(program).run()
+        assert after.return_value == before.return_value
+
+    def test_entry_block_stays_first(self):
+        program, run = _profiled(source="fn main() { var i = 0; while (i < 9) { i = i + 1; } return i; }")
+        entry_before = program.functions["main"].entry.name
+        profile_guided_layout(program, run.path_profile)
+        assert program.functions["main"].entry.name == entry_before
+
+    def test_hot_blocks_move_forward(self):
+        program, run = _profiled(source=LOOPY_SOURCE)
+        orders = profile_guided_layout(program, run.path_profile)
+        order = orders["main"]
+        function = program.functions["main"]
+        # The hottest path's blocks occupy a contiguous prefix.
+        hottest = max(
+            run.path_profile.functions["main"].counts.items(),
+            key=lambda item: item[1],
+        )[0]
+        decoded = run.path_profile.functions["main"].decode(hottest)
+        positions = [order.index(b) for b in decoded.blocks]
+        assert max(positions) - min(positions) == len(positions) - 1
+
+
+class TestSuperblock:
+    def test_semantics_preserved(self):
+        program, run = _profiled(source=LOOPY_SOURCE)
+        before = Machine(clone_program(program)).run()
+        result = form_superblock(
+            program.functions["main"], run.path_profile.functions["main"]
+        )
+        assert result is not None
+        validate_program(program)
+        after = Machine(program).run()
+        assert after.return_value == before.return_value
+
+    def test_straightening_reduces_hot_instructions(self):
+        program, run = _profiled(source=LOOPY_SOURCE)
+        before = Machine(clone_program(program)).run()
+        result = form_superblock(
+            program.functions["main"], run.path_profile.functions["main"]
+        )
+        assert result.jumps_straightened >= 1
+        after = Machine(program).run()
+        assert after[Event.INSTRS] < before[Event.INSTRS]
+
+    def test_code_growth_reported(self):
+        program, run = _profiled(source=LOOPY_SOURCE)
+        result = form_superblock(
+            program.functions["main"], run.path_profile.functions["main"]
+        )
+        assert result.code_growth > 0
+        assert result.blocks_added >= 1
+        assert result.trace_freq > 100
+
+    def test_no_loop_no_superblock(self):
+        program, run = _profiled(source="fn main() { return 42; }")
+        result = form_superblock(
+            program.functions["main"], run.path_profile.functions["main"]
+        )
+        assert result is None
+
+    def test_idempotence_guard(self):
+        program, run = _profiled(source=LOOPY_SOURCE)
+        main = program.functions["main"]
+        profile = run.path_profile.functions["main"]
+        assert form_superblock(main, profile) is not None
+        assert form_superblock(main, profile) is None  # names exist
+
+    def test_corpus_functions_survive(self, corpus_name):
+        program, run = _profiled(source_name=corpus_name)
+        before = Machine(clone_program(program)).run()
+        for name, function in program.functions.items():
+            fpp = run.path_profile.functions.get(name)
+            if fpp is not None:
+                form_superblock(function, fpp)
+        validate_program(program)
+        after = Machine(program).run()
+        assert after.return_value == before.return_value
+
+    def test_reprofile_after_optimization(self):
+        """The optimized program can itself be path-profiled."""
+        program, run = _profiled(source=LOOPY_SOURCE)
+        form_superblock(
+            program.functions["main"], run.path_profile.functions["main"]
+        )
+        reprofiled = PP().flow_freq(program)
+        assert reprofiled.return_value == run.return_value
+        # The trace clone's blocks now appear in executed paths.
+        decoded_blocks = set()
+        fpp = reprofiled.path_profile.functions["main"]
+        for path_sum, count in fpp.counts.items():
+            if count > 0:
+                decoded_blocks.update(fpp.decode(path_sum).blocks)
+        assert any(name.endswith(".sb") for name in decoded_blocks)

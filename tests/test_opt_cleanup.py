@@ -1,0 +1,203 @@
+"""The IR cleanup passes: folding, propagation, dead-block removal."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ir.asm import parse_program
+from repro.ir.instructions import Kind
+from repro.machine.counters import Event
+from repro.machine.vm import Machine
+from repro.opt.cleanup import (
+    cleanup_function,
+    cleanup_program,
+    fold_constants,
+    remove_unreachable_blocks,
+)
+from repro.tools.pp import clone_program
+
+from tests.conftest import compile_corpus
+from tests.test_property_endtoend import programs
+
+
+def _kinds(function):
+    return [i.kind for i in function.instructions()]
+
+
+class TestConstantFolding:
+    def test_arith_chain_folds(self):
+        program = parse_program(
+            """
+            func main(0) regs=8 {
+            entry:
+                const r0, 6
+                const r1, 7
+                mul r2, r0, r1
+                add r3, r2, 8
+                ret r3
+            }
+            """
+        )
+        main = program.functions["main"]
+        fold_constants(main)
+        assert Kind.BINOP not in _kinds(main)
+        assert Machine(program).run().return_value == 50
+
+    def test_copy_propagation(self):
+        program = parse_program(
+            """
+            func main(0) regs=8 {
+            entry:
+                const r0, 9
+                mov r1, r0
+                add r2, r1, 1
+                ret r2
+            }
+            """
+        )
+        main = program.functions["main"]
+        fold_constants(main)
+        assert Kind.BINOP not in _kinds(main)
+        assert Machine(program).run().return_value == 10
+
+    def test_known_branch_becomes_jump(self):
+        program = parse_program(
+            """
+            func main(0) regs=8 {
+            entry:
+                const r0, 1
+                cbr r0, yes, no
+            yes:
+                ret 1
+            no:
+                ret 0
+            }
+            """
+        )
+        main = program.functions["main"]
+        cleanup_function(main)
+        assert Kind.CBR not in _kinds(main)
+        assert not any(b.name == "no" for b in main.blocks)
+        assert Machine(program).run().return_value == 1
+
+    def test_redefinition_blocks_folding(self):
+        program = parse_program(
+            """
+            func main(1) regs=8 {
+            entry:
+                const r1, 5
+                mov r1, r0
+                add r2, r1, 1
+                ret r2
+            }
+            """
+        )
+        main = program.functions["main"]
+        fold_constants(main)
+        assert Machine(program).run(10).return_value == 11
+
+    def test_copy_source_redefinition(self):
+        program = parse_program(
+            """
+            func main(0) regs=8 {
+            entry:
+                const r0, 3
+                mov r1, r0
+                const r0, 99
+                add r2, r1, 0
+                ret r2
+            }
+            """
+        )
+        fold_constants(program.functions["main"])
+        assert Machine(program).run().return_value == 3
+
+    def test_float_values_not_folded_through_int_ops(self):
+        program = parse_program(
+            """
+            func main(0) regs=8 {
+            entry:
+                const r0, 1.5
+                fadd r1, r0, r0
+                ret r1
+            }
+            """
+        )
+        fold_constants(program.functions["main"])
+        assert Machine(program).run().return_value == 3.0
+
+    def test_calls_invalidate_destinations(self):
+        program = parse_program(
+            """
+            func main(0) regs=8 {
+            entry:
+                const r0, 1
+                call r0, seven()
+                add r1, r0, 1
+                ret r1
+            }
+            func seven(0) regs=2 {
+            entry:
+                ret 7
+            }
+            """
+        )
+        cleanup_program(program)
+        assert Machine(program).run().return_value == 8
+
+
+class TestUnreachableRemoval:
+    def test_orphans_dropped(self):
+        program = parse_program(
+            """
+            func main(0) regs=4 {
+            entry:
+                ret 1
+            island:
+                br island2
+            island2:
+                ret 2
+            }
+            """
+        )
+        removed = remove_unreachable_blocks(program.functions["main"])
+        assert removed == 2
+        assert len(program.functions["main"].blocks) == 1
+
+    def test_superblock_orphans_cleaned(self):
+        """After superblock formation, unreachable originals go away."""
+        from repro.opt.superblock import form_superblock
+        from repro.tools.pp import PP
+
+        program = compile_corpus("loop")
+        run = PP().flow_freq(program)
+        result = form_superblock(
+            program.functions["main"], run.path_profile.functions["main"]
+        )
+        assert result is not None
+        before = len(program.functions["main"].blocks)
+        removed = remove_unreachable_blocks(program.functions["main"])
+        after = len(program.functions["main"].blocks)
+        assert after == before - removed
+        assert Machine(program).run().return_value == 666  # sum(0..36)
+
+
+class TestCleanupPreservesSemantics:
+    def test_corpus(self, corpus_name):
+        program = compile_corpus(corpus_name)
+        reference = Machine(clone_program(program)).run()
+        cleanup_program(program)
+        optimized = Machine(program).run()
+        assert optimized.return_value == reference.return_value
+        assert optimized[Event.INSTRS] <= reference[Event.INSTRS]
+
+    @given(programs())
+    @settings(max_examples=50, deadline=None)
+    def test_property_random_programs(self, source):
+        from repro.lang import compile_source
+
+        program = compile_source(source)
+        reference = Machine(clone_program(program)).run()
+        cleanup_program(program)
+        optimized = Machine(program).run()
+        assert optimized.return_value == reference.return_value
+        assert optimized[Event.INSTRS] <= reference[Event.INSTRS]

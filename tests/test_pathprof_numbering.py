@@ -1,0 +1,303 @@
+"""Ball–Larus numbering: uniqueness, compactness, regeneration (§2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cfg.graph import EXIT, CFG, build_cfg
+from repro.ir.asm import parse_program
+from repro.pathprof.numbering import PathProfilingError, number_paths
+from repro.pathprof.transform import build_transformed
+
+FIG1 = """
+func main(1) regs=8 {
+A:
+    cbr r0, B, C
+B:
+    cbr r0, C, D
+C:
+    br D
+D:
+    cbr r0, E, F
+E:
+    br F
+F:
+    ret r0
+}
+"""
+
+
+def _numbering(asm: str, name: str = "main"):
+    program = parse_program(asm)
+    return number_paths(build_cfg(program.functions[name]))
+
+
+class TestFigure1:
+    """The paper's running example: six unique, compact path sums."""
+
+    def test_six_paths(self):
+        assert _numbering(FIG1).num_paths == 6
+
+    def test_paths_are_the_papers_six(self):
+        numbering = _numbering(FIG1)
+        paths = {"".join(p.blocks) for p in numbering.enumerate_paths()}
+        assert paths == {"ACDF", "ACDEF", "ABCDF", "ABCDEF", "ABDF", "ABDEF"}
+
+    def test_sums_are_compact_and_unique(self):
+        numbering = _numbering(FIG1)
+        sums = [p.path_sum for p in numbering.enumerate_paths()]
+        assert sums == list(range(6))
+
+    def test_np_values(self):
+        numbering = _numbering(FIG1)
+        # NP(F)=1, NP(E)=1, NP(D)=2, NP(C)=2, NP(B)=4, NP(A)=6
+        assert numbering.np["F"] == 1
+        assert numbering.np["D"] == 2
+        assert numbering.np["C"] == 2
+        assert numbering.np["B"] == 4
+        assert numbering.np["A"] == 6
+
+    def test_regenerate_inverts_encoding(self):
+        numbering = _numbering(FIG1)
+        for path in numbering.enumerate_paths():
+            assert numbering.path_sum(path.tedges) == path.path_sum
+
+    def test_out_of_range_sum_rejected(self):
+        numbering = _numbering(FIG1)
+        with pytest.raises(PathProfilingError):
+            numbering.regenerate(6)
+        with pytest.raises(PathProfilingError):
+            numbering.regenerate(-1)
+
+
+class TestCyclic:
+    LOOP = """
+    func main(1) regs=8 {
+    entry:
+        const r1, 0
+        br head
+    head:
+        lt r2, r1, r0
+        cbr r2, body, out
+    body:
+        add r1, r1, 1
+        br head
+    out:
+        ret r1
+    }
+    """
+
+    def test_loop_path_categories(self):
+        numbering = _numbering(self.LOOP)
+        paths = list(numbering.enumerate_paths())
+        starts_with_backedge = [p for p in paths if p.entry_backedge is not None]
+        ends_with_backedge = [p for p in paths if p.exit_backedge is not None]
+        plain = [
+            p for p in paths
+            if p.entry_backedge is None and p.exit_backedge is None
+        ]
+        assert starts_with_backedge and ends_with_backedge and plain
+
+    def test_loop_paths_are_backedge_free(self):
+        numbering = _numbering(self.LOOP)
+        back = {(b.src, b.dst) for b in numbering.graph.backedges}
+        for path in numbering.enumerate_paths():
+            for a, b in zip(path.blocks, path.blocks[1:]):
+                assert (a, b) not in back
+
+    def test_self_loop(self):
+        numbering = _numbering(
+            """
+            func main(1) regs=8 {
+            entry:
+                br spin
+            spin:
+                sub r0, r0, 1
+                cbr r0, spin, done
+            done:
+                ret r0
+            }
+            """
+        )
+        # entry->spin->done, entry->spin->(back), (back)->spin->done,
+        # (back)->spin->(back)
+        assert numbering.num_paths == 4
+
+    def test_describe_marks_backedges(self):
+        numbering = _numbering(self.LOOP)
+        descriptions = [p.describe() for p in numbering.enumerate_paths()]
+        assert any(d.startswith("(backedge)") for d in descriptions)
+        assert any(d.endswith("(backedge)") for d in descriptions)
+
+
+class TestIrregularGraphs:
+    def test_infinite_loop_is_numberable(self):
+        # The pseudo edges give even a never-returning loop paths.
+        numbering = _numbering(
+            """
+            func main(0) regs=4 {
+            entry:
+                const r0, 0
+                br spin
+            spin:
+                add r0, r0, 1
+                br spin
+            }
+            """
+        )
+        assert numbering.num_paths >= 2
+
+    def test_unreachable_code_ignored(self):
+        numbering = _numbering(
+            """
+            func main(0) regs=4 {
+            entry:
+                const r0, 1
+                ret r0
+            dead:
+                br dead2
+            dead2:
+                ret r0
+            }
+            """
+        )
+        assert numbering.num_paths == 1
+        assert "dead" not in numbering.np
+
+    def test_irreducible(self):
+        numbering = _numbering(
+            """
+            func main(1) regs=8 {
+            entry:
+                cbr r0, a, b
+            a:
+                cbr r0, b, out
+            b:
+                cbr r0, a, out
+            out:
+                ret r0
+            }
+            """
+        )
+        sums = [p.path_sum for p in numbering.enumerate_paths()]
+        assert sums == list(range(numbering.num_paths))
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests over random CFGs
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_cfgs(draw):
+    """A random CFG: n blocks, each ending in ret/br/cbr.
+
+    Mirrors :func:`repro.cfg.graph.build_cfg`'s normalization: when the
+    first block has predecessors, a synthetic no-predecessor entry is
+    prepended (the Ball–Larus precondition).
+    """
+    from repro.cfg.graph import ENTRY
+
+    n = draw(st.integers(min_value=1, max_value=8))
+    cfg = CFG("random", "b0")
+    names = [f"b{i}" for i in range(n)]
+    for name in names:
+        cfg.add_vertex(name)
+    cfg.add_vertex(EXIT)
+    for i, name in enumerate(names):
+        kind = draw(st.sampled_from(["ret", "br", "cbr"]) if n > 1 else st.just("ret"))
+        if kind == "ret":
+            cfg.add_edge(name, EXIT, "exit")
+        elif kind == "br":
+            target = draw(st.sampled_from(names))
+            cfg.add_edge(name, target, "branch")
+        else:
+            first = draw(st.sampled_from(names))
+            rest = [t for t in names if t != first] or [EXIT]
+            second = draw(st.sampled_from(rest))
+            cfg.add_edge(name, first, "then")
+            cfg.add_edge(name, second, "else")
+    if cfg.pred["b0"]:
+        cfg.add_vertex(ENTRY)
+        cfg.add_edge(ENTRY, "b0", "entry")
+        cfg.entry = ENTRY
+    return cfg
+
+
+@given(random_cfgs())
+@settings(max_examples=120, deadline=None)
+def test_property_path_sums_unique_and_compact(cfg):
+    """Every random CFG numbers uniquely and compactly (§2's theorem)."""
+    numbering = number_paths(cfg)
+    total = numbering.num_paths
+    seen = set()
+    limit = min(total, 3000)
+    for path_sum in range(limit):
+        path = numbering.regenerate(path_sum)
+        assert numbering.path_sum(path.tedges) == path_sum
+        # Identity includes the originating CFG edge: two backedges
+        # leaving one block produce distinct pseudo end edges that a
+        # (src, dst) pair alone cannot tell apart.
+        key = tuple((e.src, e.dst, e.role, e.origin.index) for e in path.tedges)
+        assert key not in seen
+        seen.add(key)
+
+
+@given(random_cfgs())
+@settings(max_examples=120, deadline=None)
+def test_property_np_consistency(cfg):
+    """NP(v) equals the sum of successors' NP in the transformed graph."""
+    numbering = number_paths(cfg)
+    graph = numbering.graph
+    for vertex, np_value in numbering.np.items():
+        if vertex == graph.exit:
+            assert np_value == 1
+            continue
+        assert np_value == sum(numbering.np[e.dst] for e in graph.succ[vertex])
+
+
+@given(random_cfgs())
+@settings(max_examples=100, deadline=None)
+def test_property_val_formula(cfg):
+    """Figure 2's labelling: Val(e_i) = NP(w_1) + ... + NP(w_{i-1})."""
+    numbering = number_paths(cfg)
+    graph = numbering.graph
+    for vertex in numbering.np:
+        if vertex == graph.exit:
+            continue
+        running = 0
+        for edge in graph.succ[vertex]:
+            assert numbering.val[edge.index] == running
+            running += numbering.np[edge.dst]
+
+
+@given(random_cfgs())
+@settings(max_examples=80, deadline=None)
+def test_property_transform_is_acyclic(cfg):
+    """Removing DFS backedges and adding pseudo edges yields a DAG."""
+    graph = build_transformed(cfg)
+    # Kahn's algorithm must consume every vertex reachable from the
+    # entry (cycles among unreachable vertices are never transformed —
+    # no DFS from the entry sees them).
+    reachable = set()
+    stack = [graph.entry]
+    while stack:
+        vertex = stack.pop()
+        if vertex in reachable:
+            continue
+        reachable.add(vertex)
+        stack.extend(e.dst for e in graph.succ[vertex])
+    indegree = {v: 0 for v in reachable}
+    for edge in graph.edges:
+        if edge.src in reachable and edge.dst in reachable:
+            indegree[edge.dst] += 1
+    queue = [v for v in reachable if indegree[v] == 0]
+    visited = 0
+    while queue:
+        vertex = queue.pop()
+        visited += 1
+        for edge in graph.succ[vertex]:
+            if edge.dst in reachable:
+                indegree[edge.dst] -= 1
+                if indegree[edge.dst] == 0:
+                    queue.append(edge.dst)
+    assert visited == len(reachable)

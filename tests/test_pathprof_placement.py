@@ -1,0 +1,144 @@
+"""Instrumentation placement: simple vs spanning-tree chord increments."""
+
+from hypothesis import given, settings
+
+from repro.cfg.graph import build_cfg
+from repro.ir.asm import parse_program
+from repro.pathprof.estimate import estimate_edge_frequencies, loop_depths
+from repro.pathprof.numbering import number_paths
+from repro.pathprof.placement import plan_simple, plan_spanning_tree
+
+from tests.test_pathprof_numbering import FIG1, random_cfgs
+
+
+def _numbering(asm: str):
+    program = parse_program(asm)
+    return number_paths(build_cfg(program.functions["main"]))
+
+
+LOOPY = """
+func main(1) regs=8 {
+entry:
+    const r1, 0
+    br head
+head:
+    lt r2, r1, r0
+    cbr r2, body, out
+body:
+    and r3, r1, 1
+    cbr r3, odd, even
+odd:
+    add r1, r1, 3
+    br head
+even:
+    add r1, r1, 1
+    br head
+out:
+    ret r1
+}
+"""
+
+
+class TestSimplePlacement:
+    def test_fig1_telescopes(self):
+        plan = plan_simple(_numbering(FIG1))
+        plan.check_path_sums()
+
+    def test_loopy_telescopes(self):
+        plan = plan_simple(_numbering(LOOPY))
+        plan.check_path_sums()
+
+    def test_every_ret_block_commits(self):
+        plan = plan_simple(_numbering(FIG1))
+        assert [c.block for c in plan.exit_commits] == ["F"]
+
+    def test_backedges_get_start_end(self):
+        plan = plan_simple(_numbering(LOOPY))
+        assert len(plan.backedge_instrs) == 2
+        for bi in plan.backedge_instrs:
+            assert bi.edge.dst == "head"
+
+
+class TestSpanningTreePlacement:
+    def test_fig1_telescopes(self):
+        numbering = _numbering(FIG1)
+        plan = plan_spanning_tree(numbering)
+        plan.check_path_sums()
+
+    def test_loopy_telescopes(self):
+        numbering = _numbering(LOOPY)
+        weights = estimate_edge_frequencies(numbering.cfg)
+        plan = plan_spanning_tree(numbering, weights)
+        plan.check_path_sums()
+
+    def test_no_more_increments_than_simple(self):
+        numbering = _numbering(LOOPY)
+        simple = plan_simple(numbering)
+        optimized = plan_spanning_tree(
+            numbering, estimate_edge_frequencies(numbering.cfg)
+        )
+        assert optimized.increment_count() <= simple.increment_count()
+
+    def test_weights_move_increments_off_hot_edges(self):
+        """With loop-depth weights, loop-body edges join the tree."""
+        numbering = _numbering(LOOPY)
+        weights = estimate_edge_frequencies(numbering.cfg)
+        plan = plan_spanning_tree(numbering, weights)
+        depths = loop_depths(numbering.cfg)
+        # Any remaining increment must not sit on the single hottest
+        # class of edges while a colder alternative existed: weaker but
+        # robust check — total weighted increments do not exceed the
+        # simple plan's.
+        def weighted(p):
+            return sum(
+                weights.get(inc.edge.index, 1.0)
+                for inc in p.increments
+                if inc.value != 0
+            )
+
+        assert weighted(plan) <= weighted(plan_simple(numbering))
+        assert depths["body"] == 1
+
+
+class TestEstimator:
+    def test_loop_depths(self):
+        numbering = _numbering(LOOPY)
+        depths = loop_depths(numbering.cfg)
+        assert depths["entry"] == 0
+        assert depths["head"] == 1
+        assert depths["body"] == 1
+        assert depths["out"] == 0
+
+    def test_edge_weights_scale_with_depth(self):
+        numbering = _numbering(LOOPY)
+        weights = estimate_edge_frequencies(numbering.cfg)
+        inner = numbering.cfg.find_edge("body", "odd")
+        outer = numbering.cfg.find_edge("entry", "head")
+        assert weights[inner.index] > weights[outer.index]
+
+
+@given(random_cfgs())
+@settings(max_examples=120, deadline=None)
+def test_property_simple_placement_telescopes(cfg):
+    plan = plan_simple(number_paths(cfg))
+    plan.check_path_sums(limit=512)
+
+
+@given(random_cfgs())
+@settings(max_examples=120, deadline=None)
+def test_property_spanning_tree_placement_telescopes(cfg):
+    numbering = number_paths(cfg)
+    weights = estimate_edge_frequencies(cfg)
+    plan = plan_spanning_tree(numbering, weights)
+    plan.check_path_sums(limit=512)
+
+
+@given(random_cfgs())
+@settings(max_examples=80, deadline=None)
+def test_property_chords_never_exceed_simple(cfg):
+    numbering = number_paths(cfg)
+    simple = plan_simple(numbering)
+    optimized = plan_spanning_tree(numbering, estimate_edge_frequencies(cfg))
+    assert optimized.increment_count() <= len(simple.increments) + len(
+        simple.backedge_instrs
+    ) + len(simple.exit_commits)

@@ -1,0 +1,200 @@
+"""Profile analyses: hot paths (Table 4), hot procedures (Table 5),
+perturbation (Table 2), and the instruction-count correction."""
+
+import pytest
+
+from repro.machine.counters import Event
+from repro.profiles.hotpaths import (
+    PathClass,
+    classify_paths,
+    paths_per_hot_block,
+    threshold_sweep,
+)
+from repro.profiles.hotprocs import classify_procedures
+from repro.profiles.pathprofile import (
+    FunctionPathProfile,
+    PathEntry,
+    PathProfile,
+    collect_path_profile,
+)
+from repro.profiles.perturbation import (
+    estimate_instrumentation_instructions,
+    perturbation_ratios,
+)
+from repro.tools.pp import PP
+
+from tests.conftest import compile_corpus
+
+
+def _synthetic_profile(paths):
+    """Build a PathProfile from (function, sum, freq, instrs, misses)."""
+
+    class _FakeInfo:
+        def __init__(self, name, sums):
+            self.function = name
+            self.numbering = None
+            self.num_paths = max(sums) + 1 if sums else 0
+
+    profile = PathProfile()
+    by_function = {}
+    for function, path_sum, freq, instrs, misses in paths:
+        by_function.setdefault(function, []).append((path_sum, freq, instrs, misses))
+    for function, entries in by_function.items():
+        counts = {s: f for s, f, _, _ in entries}
+        metrics = {s: [i, m] for s, _, i, m in entries}
+        info = _FakeInfo(function, list(counts))
+        fpp = FunctionPathProfile.__new__(FunctionPathProfile)
+        fpp.function = function
+        fpp.numbering = None
+        fpp.num_potential_paths = info.num_paths
+        fpp.counts = counts
+        fpp.metrics = metrics
+        profile.functions[function] = fpp
+    return profile
+
+
+class TestHotPathClassification:
+    def test_hot_threshold(self):
+        profile = _synthetic_profile(
+            [
+                ("f", 0, 100, 1000, 90),   # 90% of misses: hot
+                ("f", 1, 100, 1000, 9),    # 9%: hot at 1%
+                ("f", 2, 100, 1000, 1),    # 1%: exactly at threshold
+                ("f", 3, 100, 1000, 0),    # no misses: cold
+            ]
+        )
+        report = classify_paths(profile, threshold=0.01)
+        assert report.hot.num == 3
+        assert report.cold.num == 1
+        assert report.total_misses == 100
+
+    def test_dense_vs_sparse(self):
+        profile = _synthetic_profile(
+            [
+                ("f", 0, 1, 100, 50),     # ratio 0.5: dense
+                ("f", 1, 1, 10000, 50),   # ratio 0.005: sparse
+            ]
+        )
+        report = classify_paths(profile, threshold=0.01)
+        assert report.dense.num == 1
+        assert report.sparse.num == 1
+        klasses = {c.entry.path_sum: c.klass for c in report.classified}
+        assert klasses[0] is PathClass.DENSE
+        assert klasses[1] is PathClass.SPARSE
+
+    def test_shares_sum_to_one(self):
+        profile = _synthetic_profile(
+            [("f", i, 1, 100 * (i + 1), 10 * (i + 1)) for i in range(10)]
+        )
+        report = classify_paths(profile)
+        ti, tm = report.total_instructions, report.total_misses
+        assert report.hot.inst_share(ti) + report.cold.inst_share(ti) == pytest.approx(1.0)
+        assert report.hot.miss_share(tm) + report.cold.miss_share(tm) == pytest.approx(1.0)
+        assert report.dense.num + report.sparse.num == report.hot.num
+
+    def test_threshold_sweep_monotone(self):
+        profile = _synthetic_profile(
+            [("f", i, 1, 1000, m) for i, m in enumerate([500, 300, 100, 50, 30, 20])]
+        )
+        reports = threshold_sweep(profile, (0.01, 0.001))
+        assert reports[0.001].hot.num >= reports[0.01].hot.num
+
+    def test_no_misses_program(self):
+        profile = _synthetic_profile([("f", 0, 10, 1000, 0)])
+        report = classify_paths(profile)
+        assert report.hot.num == 0
+        assert report.cold.num == 1
+
+    def test_zero_freq_paths_ignored(self):
+        profile = _synthetic_profile([("f", 0, 0, 0, 0), ("f", 1, 5, 100, 10)])
+        report = classify_paths(profile)
+        assert report.total_paths == 1
+
+
+class TestPathsPerBlock:
+    def test_blocks_shared_by_paths(self):
+        program = compile_corpus("many_paths")
+        run = PP().flow_hw(program)
+        report = classify_paths(run.path_profile, threshold=0.01)
+        average, per_block = paths_per_hot_block(run.path_profile, report)
+        if report.hot.num:
+            assert average >= 1.0
+            for (function, block), count in per_block.items():
+                assert count >= 1
+
+
+class TestHotProcedures:
+    def test_aggregation(self):
+        profile = _synthetic_profile(
+            [
+                ("hotproc", 0, 10, 1000, 80),
+                ("hotproc", 1, 10, 1000, 15),
+                ("coldproc", 0, 10, 1000, 5),
+            ]
+        )
+        report = classify_procedures(profile, threshold=0.5)
+        assert report.hot.num == 1
+        assert report.cold.num == 1
+        assert report.hot.paths_per_proc() == 2.0
+
+    def test_miss_shares(self):
+        profile = _synthetic_profile(
+            [("a", 0, 1, 100, 70), ("b", 0, 1, 100, 30)]
+        )
+        report = classify_procedures(profile, threshold=0.01)
+        assert report.hot.miss_share(report.total_misses) == pytest.approx(1.0)
+
+
+class TestPerturbation:
+    def test_ratios(self):
+        instrumented = {e: 0 for e in Event}
+        baseline = {e: 0 for e in Event}
+        baseline[Event.CYCLES] = 100
+        instrumented[Event.CYCLES] = 150
+        ratios = perturbation_ratios(instrumented, baseline)
+        assert ratios[Event.CYCLES] == pytest.approx(1.5)
+        assert ratios[Event.FP_STALL] is None  # zero baseline
+
+    def test_instruction_correction_is_close(self):
+        """Subtracting estimated instrumentation instructions recovers
+        the baseline instruction count to within a few percent."""
+        program = compile_corpus("nested_loops")
+        pp = PP()
+        base = pp.baseline(program)
+        run = pp.flow_freq(program, placement="spanning_tree")
+        estimate = estimate_instrumentation_instructions(run.flow)
+        measured_extra = run.result[Event.INSTRS] - base.result[Event.INSTRS]
+        assert estimate > 0
+        # Split blocks add a branch the static estimate cannot see;
+        # tolerate a small gap.
+        assert abs(measured_extra - estimate) <= 0.2 * measured_extra + 5
+
+    def test_correction_exact_without_splits(self):
+        """On a program whose increments all sit on br edges the
+        estimate is exact."""
+        program = compile_corpus("loop")
+        pp = PP()
+        base = pp.baseline(program)
+        run = pp.flow_freq(program, placement="simple")
+        estimate = estimate_instrumentation_instructions(run.flow)
+        measured_extra = run.result[Event.INSTRS] - base.result[Event.INSTRS]
+        assert estimate == measured_extra
+
+
+class TestCollectProfile:
+    def test_totals(self):
+        program = compile_corpus("calls")
+        run = PP().flow_hw(program)
+        profile = run.path_profile
+        assert profile.total_instructions() > 0
+        assert profile.executed_paths() >= 3
+        for entry in profile.entries():
+            assert entry.freq >= 0
+
+    def test_decode_entries(self):
+        program = compile_corpus("diamond")
+        run = PP().flow_hw(program)
+        fpp = run.path_profile.functions["main"]
+        for entry in fpp.entries():
+            decoded = fpp.decode(entry.path_sum)
+            assert decoded.blocks[0] == "entry"

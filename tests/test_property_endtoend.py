@@ -1,0 +1,223 @@
+"""End-to-end property tests over randomly generated programs.
+
+A hypothesis strategy generates terminating mini-language programs
+(bounded loops, acyclic call graphs, global-array traffic), and for
+every generated program we assert the reproduction's central
+invariants:
+
+* every profiling configuration computes the same program result as
+  the uninstrumented run;
+* instrumented path counts equal the tracing oracle's, under both
+  placements;
+* the on-line CCT equals the DCT projection;
+* simple and optimized edge profiles agree after reconstruction.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cct.dct import DynamicCallRecorder, canonical_projected, canonical_record, project_cct
+from repro.cct.runtime import CCTRuntime
+from repro.instrument.cctinstr import instrument_context
+from repro.instrument.edgeinstr import instrument_edges
+from repro.instrument.pathinstr import instrument_paths
+from repro.instrument.tables import ProfilingRuntime
+from repro.lang import compile_source
+from repro.machine.memory import MemoryMap
+from repro.machine.vm import Machine
+from repro.profiles.oracle import PathOracle
+
+
+@st.composite
+def expressions(draw, variables, functions, depth=0):
+    choices = ["const", "var"]
+    if depth < 2:
+        choices += ["binop", "binop", "index"]
+        if functions:
+            choices.append("call")
+    kind = draw(st.sampled_from(choices))
+    if kind == "const" or (kind == "var" and not variables):
+        return str(draw(st.integers(min_value=0, max_value=90)))
+    if kind == "var":
+        return draw(st.sampled_from(variables))
+    if kind == "index":
+        inner = draw(expressions(variables, functions, depth + 1))
+        return f"data[({inner}) & 255]"
+    if kind == "call":
+        callee = draw(st.sampled_from(functions))
+        arg = draw(expressions(variables, functions, depth + 1))
+        return f"{callee}({arg})"
+    op = draw(st.sampled_from(["+", "-", "*", "%", "&", "|", "^"]))
+    left = draw(expressions(variables, functions, depth + 1))
+    right = draw(expressions(variables, functions, depth + 1))
+    if op == "%":
+        # Keep divisors positive so semantics match everywhere.
+        return f"(({left}) % {draw(st.integers(min_value=1, max_value=13))})"
+    return f"(({left}) {op} ({right}))"
+
+
+@st.composite
+def statements(draw, variables, functions, loop_depth, stmt_depth=0):
+    kinds = ["assign", "assign", "store"]
+    if stmt_depth < 2:
+        kinds += ["if", "loop"]
+    kind = draw(st.sampled_from(kinds))
+    if kind == "assign":
+        target = draw(st.sampled_from(variables))
+        value = draw(expressions(variables, functions))
+        return [f"{target} = {value};"]
+    if kind == "store":
+        index = draw(expressions(variables, functions))
+        value = draw(expressions(variables, functions))
+        return [f"data[({index}) & 255] = {value};"]
+    if kind == "if":
+        cond = draw(expressions(variables, functions))
+        then_body = draw(statements(variables, functions, loop_depth, stmt_depth + 1))
+        if draw(st.booleans()):
+            else_body = draw(
+                statements(variables, functions, loop_depth, stmt_depth + 1)
+            )
+            return (
+                [f"if (({cond}) % 2 == 0) {{"]
+                + ["    " + s for s in then_body]
+                + ["} else {"]
+                + ["    " + s for s in else_body]
+                + ["}"]
+            )
+        return (
+            [f"if (({cond}) % 2 == 0) {{"]
+            + ["    " + s for s in then_body]
+            + ["}"]
+        )
+    # Bounded loop with a dedicated counter no body statement touches.
+    counter = f"loop{loop_depth}_{stmt_depth}"
+    trip = draw(st.integers(min_value=1, max_value=6))
+    body = draw(statements(variables, functions, loop_depth + 1, stmt_depth + 1))
+    return (
+        [f"var {counter} = 0;", f"while ({counter} < {trip}) {{"]
+        + ["    " + s for s in body]
+        + [f"    {counter} = {counter} + 1;", "}"]
+    )
+
+
+@st.composite
+def programs(draw):
+    nfuncs = draw(st.integers(min_value=0, max_value=3))
+    functions = [f"f{i}" for i in range(nfuncs)]
+    lines = ["global data[256];"]
+    for index, name in enumerate(functions):
+        callable_below = functions[:index]  # acyclic: only call earlier
+        variables = ["a", "x"]
+        body = ["var x = a + 1;"]
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            body += draw(statements(variables, callable_below, 0))
+        body.append(f"return x & 65535;")
+        lines.append(f"fn {name}(a) {{")
+        lines += ["    " + s for s in body]
+        lines.append("}")
+    variables = ["x"]
+    body = ["var x = 1;"]
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        body += draw(statements(variables, functions, 0))
+    body.append("return x & 65535;")
+    lines.append("fn main() {")
+    lines += ["    " + s for s in body]
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _fresh(source):
+    return compile_source(source)
+
+
+@given(programs())
+@settings(max_examples=60, deadline=None)
+def test_property_all_configs_agree(source):
+    from repro.tools.pp import PP
+
+    program = _fresh(source)
+    pp = PP()
+    base = pp.baseline(program)
+    for run in (
+        pp.flow_hw(program),
+        pp.flow_freq(program, placement="simple"),
+        pp.context_hw(program),
+        pp.context_flow(program),
+        pp.edge_profile(program, placement="spanning_tree"),
+    ):
+        assert run.return_value == base.return_value, (run.label, source)
+
+
+@given(programs(), st.sampled_from(["simple", "spanning_tree"]))
+@settings(max_examples=60, deadline=None)
+def test_property_path_counts_equal_oracle(source, placement):
+    probe = instrument_paths(_fresh(source), mode="freq", placement=placement)
+    numberings = {n: i.numbering for n, i in probe.functions.items()}
+    oracle = PathOracle(numberings)
+    clean = Machine(_fresh(source))
+    clean.tracer = oracle
+    clean.run()
+
+    program = _fresh(source)
+    runtime = ProfilingRuntime(MemoryMap().profiling.base)
+    flow = instrument_paths(program, mode="freq", placement=placement, runtime=runtime)
+    machine = Machine(program)
+    machine.path_runtime = runtime
+    machine.run()
+    for name in flow.functions:
+        assert flow.path_counts(name) == oracle.function_counts(name), (
+            name,
+            source,
+        )
+
+
+@given(programs())
+@settings(max_examples=40, deadline=None)
+def test_property_cct_equals_projection(source):
+    clean = Machine(_fresh(source))
+    recorder = DynamicCallRecorder()
+    clean.tracer = recorder
+    clean.run()
+
+    program = _fresh(source)
+    instrument_context(program)
+    runtime = CCTRuntime(MemoryMap().cct.base, collect_hw=False)
+    machine = Machine(program)
+    machine.cct_runtime = runtime
+    machine.run()
+    assert canonical_record(runtime.root) == canonical_projected(
+        project_cct(recorder.tree)
+    ), source
+
+
+@given(programs())
+@settings(max_examples=30, deadline=None)
+def test_property_edge_reconstruction(source):
+    entries = {}
+
+    class Counter:
+        def on_enter(self, name, site):
+            entries[name] = entries.get(name, 0) + 1
+
+        def on_exit(self, name, value):
+            pass
+
+        def on_block(self, name, block):
+            pass
+
+    def run(placement):
+        program = _fresh(source)
+        runtime = ProfilingRuntime(MemoryMap().profiling.base)
+        edges = instrument_edges(program, placement=placement, runtime=runtime)
+        machine = Machine(program)
+        machine.path_runtime = runtime
+        if placement == "simple":
+            machine.tracer = Counter()
+        machine.run()
+        return edges
+
+    simple = run("simple")
+    optimized = run("spanning_tree")
+    for name in simple.functions:
+        expected = simple.edge_counts(name)
+        actual = optimized.edge_counts(name, entries=entries.get(name, 0))
+        assert actual == expected, (name, source)

@@ -1,0 +1,164 @@
+"""Differential testing: the cost-model VM vs the reference interpreter.
+
+Two independent implementations of the IR semantics must agree on
+every program either can run — the strongest guard against semantic
+bugs hiding inside the performance modelling.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.lang import compile_source
+from repro.machine.memory import WORD
+from repro.machine.reference import ReferenceError, ReferenceInterpreter
+from repro.machine.vm import Machine
+
+from tests.conftest import CORPUS, compile_corpus
+from tests.test_property_endtoend import programs
+
+#: Corpus programs the reference cannot run (setjmp/longjmp etc.) —
+#: none currently, but kept explicit for future additions.
+UNSUPPORTED = frozenset()
+
+
+def test_corpus_agreement(corpus_name):
+    if corpus_name in UNSUPPORTED:
+        pytest.skip("reference does not support this corpus program")
+    vm_result = Machine(compile_corpus(corpus_name)).run()
+    reference = ReferenceInterpreter(compile_corpus(corpus_name))
+    assert reference.run() == vm_result.return_value
+
+
+def test_memory_effects_agree():
+    program_vm = compile_corpus("arrays")
+    machine = Machine(program_vm)
+    machine.run()
+    reference = ReferenceInterpreter(compile_corpus("arrays"))
+    reference.run()
+    base = machine.memory.globals.base
+    for index in range(0, 512, 17):
+        address = base + index * WORD
+        assert machine.memory.read(address) == reference.memory.get(address, 0)
+
+
+def test_args_passed_identically():
+    source = """
+    fn main(a, b) { return a * 100 + b; }
+    """
+    program = compile_source(source)
+    vm_result = Machine(program).run(7, 3).return_value
+    assert ReferenceInterpreter(compile_source(source)).run(7, 3) == vm_result
+
+
+def test_indirect_calls_agree():
+    from repro.ir.asm import parse_program
+
+    asm = """
+    program entry=main
+    func main(0) regs=4 {
+    entry:
+        const r0, 1
+        icall r1, *r0(20)
+        ret r1
+    }
+    func double(1) regs=4 {
+    entry:
+        mul r1, r0, 2
+        ret r1
+    }
+    func triple(1) regs=4 {
+    entry:
+        mul r1, r0, 3
+        ret r1
+    }
+    """
+    program = parse_program(asm)
+    program.function_index("double")
+    program.function_index("triple")
+    vm_result = Machine(program).run().return_value
+    program2 = parse_program(asm)
+    program2.function_index("double")
+    program2.function_index("triple")
+    assert ReferenceInterpreter(program2).run() == vm_result == 60
+
+
+def test_reference_refuses_instrumentation():
+    from repro.instrument.pathinstr import instrument_paths
+
+    program = compile_corpus("loop")
+    instrument_paths(program, mode="freq")
+    with pytest.raises(ReferenceError, match="support"):
+        ReferenceInterpreter(program).run()
+
+
+def test_reference_step_budget():
+    source = "fn main() { while (1) { } return 0; }"
+    reference = ReferenceInterpreter(compile_source(source), max_steps=1000)
+    with pytest.raises(ReferenceError, match="budget"):
+        reference.run()
+
+
+@given(programs())
+@settings(max_examples=80, deadline=None)
+def test_property_vm_matches_reference(source):
+    vm_result = Machine(compile_source(source)).run()
+    reference = ReferenceInterpreter(compile_source(source))
+    assert reference.run() == vm_result.return_value
+
+
+class TestIrreducibleEndToEnd:
+    """Irreducible control flow through the whole pipeline (§2: the
+    algorithm handles reducible and irreducible CFGs)."""
+
+    ASM = """
+    program entry=main
+    func main(1) regs=8 {
+    entry:
+        const r1, 0
+        and r2, r0, 1
+        cbr r2, a, b
+    a:
+        add r1, r1, 1
+        sub r0, r0, 1
+        gt r3, r0, 0
+        cbr r3, b, out
+    b:
+        add r1, r1, 10
+        sub r0, r0, 2
+        gt r3, r0, 0
+        cbr r3, a, out
+    out:
+        ret r1
+    }
+    """
+
+    @pytest.mark.parametrize("arg", [0, 1, 5, 8, 13])
+    def test_vm_matches_reference(self, arg):
+        from repro.ir.asm import parse_program
+
+        vm_result = Machine(parse_program(self.ASM)).run(arg).return_value
+        ref_result = ReferenceInterpreter(parse_program(self.ASM)).run(arg)
+        assert vm_result == ref_result
+
+    @pytest.mark.parametrize("arg", [1, 8, 13])
+    def test_path_profile_matches_oracle(self, arg):
+        from repro.instrument.pathinstr import instrument_paths
+        from repro.instrument.tables import ProfilingRuntime
+        from repro.ir.asm import parse_program
+        from repro.machine.memory import MemoryMap
+        from repro.profiles.oracle import PathOracle
+
+        probe = instrument_paths(parse_program(self.ASM), mode="freq")
+        numberings = {n: i.numbering for n, i in probe.functions.items()}
+        oracle = PathOracle(numberings)
+        clean = Machine(parse_program(self.ASM))
+        clean.tracer = oracle
+        clean.run(arg)
+
+        program = parse_program(self.ASM)
+        runtime = ProfilingRuntime(MemoryMap().profiling.base)
+        flow = instrument_paths(program, mode="freq", runtime=runtime)
+        machine = Machine(program)
+        machine.path_runtime = runtime
+        machine.run(arg)
+        assert flow.path_counts("main") == oracle.function_counts("main")

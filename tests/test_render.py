@@ -1,0 +1,90 @@
+"""ASCII and DOT renderers."""
+
+import pytest
+
+from repro.cfg.graph import build_cfg
+from repro.lang import compile_source
+from repro.pathprof.numbering import number_paths
+from repro.render import render_cct_ascii, render_cct_dot, render_cfg_dot
+from repro.tools.pp import PP
+
+from tests.conftest import compile_corpus
+
+RECURSIVE = """
+fn walk(n) {
+    if (n <= 0) { return 0; }
+    return walk(n - 1) + helper(n);
+}
+fn helper(n) { return n * 2; }
+fn main() { return walk(4); }
+"""
+
+
+@pytest.fixture
+def cct_root():
+    program = compile_source(RECURSIVE)
+    run = PP().context_hw(program)
+    return run.cct.root
+
+
+class TestAscii:
+    def test_tree_structure(self, cct_root):
+        text = render_cct_ascii(cct_root)
+        assert "<root>" in text
+        assert "main" in text
+        assert "walk" in text
+        # Recursion annotated, not expanded infinitely.
+        assert "(recursion ^)" in text
+
+    def test_metric_annotation(self, cct_root):
+        text = render_cct_ascii(cct_root, metric=0)
+        assert "[1]" in text  # main called once
+
+    def test_no_metric(self, cct_root):
+        text = render_cct_ascii(cct_root, metric=None)
+        assert "[" not in text.replace("[", "", 0) or "(" in text
+
+    def test_depth_cap(self, cct_root):
+        shallow = render_cct_ascii(cct_root, max_depth=1)
+        deep = render_cct_ascii(cct_root, max_depth=32)
+        assert len(shallow.splitlines()) <= len(deep.splitlines())
+
+
+class TestCfgDot:
+    def test_plain(self):
+        program = compile_corpus("loop")
+        cfg = build_cfg(program.functions["main"])
+        dot = render_cfg_dot(cfg)
+        assert dot.startswith("digraph")
+        assert '"__EXIT__"' in dot
+        assert dot.endswith("}")
+
+    def test_with_numbering(self):
+        program = compile_corpus("loop")
+        cfg = build_cfg(program.functions["main"])
+        numbering = number_paths(cfg)
+        dot = render_cfg_dot(cfg, numbering)
+        assert "style=dashed color=red" in dot  # the backedge
+        # Any nonzero Val shows as an increment label.
+        if any(v for v in numbering.val.values()):
+            assert 'label="+' in dot
+
+    def test_every_edge_present(self):
+        program = compile_corpus("diamond")
+        cfg = build_cfg(program.functions["main"])
+        dot = render_cfg_dot(cfg)
+        assert dot.count("->") == len(cfg.edges)
+
+
+class TestCctDot:
+    def test_nodes_and_edges(self, cct_root):
+        dot = render_cct_dot(cct_root)
+        assert "digraph CCT" in dot
+        assert "walk" in dot and "helper" in dot
+        assert "style=dashed color=red" in dot  # the recursion backedge
+
+    def test_renders_for_corpus(self, corpus_name):
+        program = compile_corpus(corpus_name)
+        run = PP().context_hw(program)
+        dot = render_cct_dot(run.cct.root)
+        assert dot.startswith("digraph") and dot.endswith("}")

@@ -1,0 +1,53 @@
+"""Text-table rendering and summary statistics."""
+
+import pytest
+
+from repro.reporting import arithmetic_mean, format_table, geometric_mean
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        rows = [
+            {"Name": "a", "Value": 1},
+            {"Name": "longer", "Value": 123456},
+        ]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[:1] + lines[2:]}) == 1
+
+    def test_title(self):
+        text = format_table([{"A": 1}], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_column_selection_and_order(self):
+        rows = [{"A": 1, "B": 2, "C": 3}]
+        text = format_table(rows, columns=["C", "A"])
+        header = text.splitlines()[0]
+        assert "C" in header and "A" in header and "B" not in header
+        assert header.index("C") < header.index("A")
+
+    def test_missing_cells_and_none(self):
+        text = format_table([{"A": None}, {"B": 2}], columns=["A", "B"])
+        assert "-" in text
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 1.23456}])
+        assert "1.23" in text
+
+    def test_big_numbers_compact(self):
+        text = format_table([{"x": 210_000_000}])
+        assert "e+" in text or "2.1" in text
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+
+
+class TestMeans:
+    def test_geometric(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, 2.0]) == pytest.approx(2.0)  # zeros skipped
+
+    def test_arithmetic(self):
+        assert arithmetic_mean([1, 2, 3]) == 2
+        assert arithmetic_mean([]) == 0.0

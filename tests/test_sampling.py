@@ -1,0 +1,118 @@
+"""The Goldberg–Hall sampling baseline vs. the CCT (§7.2)."""
+
+import pytest
+
+from repro.cct.gprof import cct_truth
+from repro.cct.runtime import CCTRuntime
+from repro.instrument.cctinstr import instrument_context
+from repro.lang import compile_source
+from repro.machine.memory import MemoryMap
+from repro.machine.vm import Machine
+from repro.profiles.sampling import StackSampler
+
+SOURCE = """
+fn spin(n) {
+    var i = 0; var sum = 0;
+    while (i < n) { sum = sum + i; i = i + 1; }
+    return sum;
+}
+fn heavy() { return spin(400); }
+fn light() { return spin(4); }
+fn main() {
+    var i = 0; var out = 0;
+    while (i < 30) {
+        out = out + light();
+        if (i % 10 == 0) { out = out + heavy(); }
+        i = i + 1;
+    }
+    return out;
+}
+"""
+
+
+def _sampled(period=32, source=SOURCE):
+    program = compile_source(source)
+    machine = Machine(program)
+    sampler = StackSampler(period=period)
+    machine.tracer = sampler
+    result = machine.run()
+    return sampler, result
+
+
+def _cct(source=SOURCE):
+    program = compile_source(source)
+    instrument_context(program)
+    runtime = CCTRuntime(MemoryMap().cct.base, collect_hw=True)
+    machine = Machine(program)
+    machine.cct_runtime = runtime
+    machine.run()
+    return runtime
+
+
+class TestSampler:
+    def test_samples_collected(self):
+        sampler, _ = _sampled()
+        assert len(sampler.samples) > 10
+        assert all(sample[0] == "main" for sample in sampler.samples)
+
+    def test_shares_sum_to_one(self):
+        sampler, _ = _sampled()
+        shares = sampler.context_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_hot_context_dominates_samples(self):
+        sampler, _ = _sampled()
+        shares = sampler.context_shares()
+        heavy = shares.get(("main", "heavy", "spin"), 0.0)
+        light = shares.get(("main", "light", "spin"), 0.0)
+        # heavy's spin runs ~10x the instructions of light's in total.
+        assert heavy > light
+
+    def test_estimate_tracks_cct_truth_roughly(self):
+        sampler, result = _sampled(period=8)
+        runtime = _cct()
+        truth = cct_truth(runtime, metric=1)
+        estimates = sampler.inclusive_estimate(result.instructions)
+        root_truth = {k: v for k, v in truth.items()}
+        heavy_truth = root_truth[("main", "heavy", "spin")]
+        heavy_estimate = estimates.get(("main", "heavy", "spin"), 0.0)
+        # Within a factor of two: sampling error, the paper's point.
+        assert heavy_truth / 2 <= heavy_estimate <= heavy_truth * 2
+
+    def test_storage_grows_with_run_length(self):
+        """The paper's criticism: sample storage is unbounded."""
+        short = compile_source(SOURCE.replace("i < 30", "i < 10"))
+        long = compile_source(SOURCE.replace("i < 30", "i < 60"))
+        cells = []
+        for program in (short, long):
+            machine = Machine(program)
+            sampler = StackSampler(period=32)
+            machine.tracer = sampler
+            machine.run()
+            cells.append(sampler.storage_cells())
+        assert cells[1] > 2 * cells[0]
+
+        # The CCT for both runs has the SAME number of records.
+        sizes = []
+        for text in ("i < 10", "i < 60"):
+            program = compile_source(SOURCE.replace("i < 30", text))
+            instrument_context(program)
+            runtime = CCTRuntime(MemoryMap().cct.base, collect_hw=False)
+            machine = Machine(program)
+            machine.cct_runtime = runtime
+            machine.run()
+            sizes.append(len(runtime.records))
+        assert sizes[0] == sizes[1]
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValueError):
+            StackSampler(period=0)
+
+    def test_exclusive_vs_inclusive(self):
+        sampler, result = _sampled(period=8)
+        exclusive = sampler.estimate(result.instructions)
+        inclusive = sampler.inclusive_estimate(result.instructions)
+        # main's inclusive share covers everything; its exclusive share
+        # is only the samples taken while main itself ran.
+        assert inclusive[("main",)] == pytest.approx(result.instructions)
+        assert exclusive.get(("main",), 0.0) < inclusive[("main",)]

@@ -1,0 +1,154 @@
+"""Path coverage and spectrum diffs ([WHH80], [RBDL97])."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.profiles.spectra import path_coverage, spectrum_diff, untested_paths
+from repro.tools.pp import PP
+
+from tests.conftest import compile_corpus
+
+#: main(mode): mode flips which branch of handle() executes — the
+#: classic input-dependent behaviour a spectrum diff localizes.
+MODED = """
+fn handle(v, mode) {
+    if (mode == 99) {
+        return v * 2;     // the "special date" path
+    }
+    return v + 1;
+}
+fn main(mode) {
+    var i = 0; var out = 0;
+    while (i < 20) { out = out + handle(i, mode); i = i + 1; }
+    return out;
+}
+"""
+
+
+class TestCoverage:
+    def test_counts(self):
+        program = compile_corpus("diamond")
+        run = PP().flow_freq(program)
+        report = path_coverage(run.path_profile)
+        main = report.functions["main"]
+        assert main.executed == 1  # one input drives one path
+        assert main.potential == 2
+        assert main.fraction == pytest.approx(0.5)
+
+    def test_full_coverage_possible(self):
+        program = compile_corpus("many_paths")
+        run = PP().flow_freq(program)
+        report = path_coverage(run.path_profile)
+        classify = report.functions["classify"]
+        assert classify.executed == classify.potential == 16
+
+    def test_untested_paths_are_concrete(self):
+        program = compile_corpus("diamond")
+        run = PP().flow_freq(program)
+        missing = untested_paths(run.path_profile, "main")
+        assert len(missing) == 1
+        assert missing[0].blocks  # a decodable block sequence
+
+    def test_untested_respects_limit(self):
+        program = compile_corpus("many_paths")
+        run = PP().flow_freq(program)
+        # classify is fully covered; main's loop paths partially.
+        missing = untested_paths(run.path_profile, "classify", limit=5)
+        assert missing == []
+
+    def test_rows_render(self):
+        from repro.reporting import format_table
+
+        program = compile_corpus("calls")
+        run = PP().flow_freq(program)
+        report = path_coverage(run.path_profile)
+        text = format_table(report.rows())
+        assert "Coverage %" in text
+
+
+class TestSpectrumDiff:
+    def _profiles(self, first_mode, second_mode):
+        program = compile_source(MODED)
+        pp = PP()
+        return (
+            pp.flow_freq(program, args=(first_mode,)).path_profile,
+            pp.flow_freq(program, args=(second_mode,)).path_profile,
+        )
+
+    def test_same_input_empty_diff(self):
+        first, second = self._profiles(1, 1)
+        assert spectrum_diff(first, second).is_empty()
+
+    def test_different_behaviour_localized(self):
+        normal, special = self._profiles(1, 99)
+        diff = spectrum_diff(normal, special)
+        assert not diff.is_empty()
+        assert "handle" in diff.distinguishing_functions()
+        # The special path appears only in the second run.
+        assert diff.only_second["handle"]
+        assert diff.only_first["handle"]
+
+    def test_equivalent_inputs_same_spectrum(self):
+        # Modes 1 and 2 drive the same paths (both != 99).
+        first, second = self._profiles(1, 2)
+        assert spectrum_diff(first, second).is_empty()
+
+
+class TestBySiteAblation:
+    """§4.1's trade-off: call-site discrimination costs space."""
+
+    SOURCE = """
+    fn leaf(x) { return x + 1; }
+    fn mid(x) {
+        // two sites calling the same procedure
+        return leaf(x) + leaf(x * 2);
+    }
+    fn main() {
+        var i = 0; var out = 0;
+        while (i < 10) { out = out + mid(i); i = i + 1; }
+        return out;
+    }
+    """
+
+    def test_insensitive_merges_sites(self):
+        pp = PP()
+        program = compile_source(self.SOURCE)
+        sensitive = pp.context_hw(program, by_site=True)
+        insensitive = pp.context_hw(program, by_site=False)
+        assert sensitive.return_value == insensitive.return_value
+        leaf_sensitive = [r for r in sensitive.cct.records if r.id == "leaf"]
+        leaf_insensitive = [r for r in insensitive.cct.records if r.id == "leaf"]
+        assert len(leaf_sensitive) == 2    # one per call site
+        assert len(leaf_insensitive) == 1  # merged
+        # Frequencies are conserved either way.
+        assert sum(r.metrics[0] for r in leaf_sensitive) == sum(
+            r.metrics[0] for r in leaf_insensitive
+        )
+
+    def test_insensitive_is_smaller(self):
+        from repro.workloads import build_workload
+
+        pp = PP()
+        program = build_workload("147.vortex", 0.25)
+        sensitive = pp.context_hw(program, by_site=True)
+        insensitive = pp.context_hw(program, by_site=False)
+        assert insensitive.cct.heap_bytes() < sensitive.cct.heap_bytes()
+
+    def test_insensitive_matches_projection(self):
+        from repro.cct.dct import (
+            DynamicCallRecorder,
+            canonical_projected,
+            canonical_record,
+            project_cct,
+        )
+        from repro.machine.vm import Machine
+
+        program = compile_source(self.SOURCE)
+        machine = Machine(program)
+        recorder = DynamicCallRecorder()
+        machine.tracer = recorder
+        machine.run()
+        run = PP().context_hw(program, by_site=False)
+        assert canonical_record(run.cct.root) == canonical_projected(
+            project_cct(recorder.tree, by_site=False)
+        )

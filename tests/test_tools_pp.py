@@ -1,0 +1,105 @@
+"""The PP driver: cloning, configuration plumbing, run integrity."""
+
+import pytest
+
+from repro.ir.disasm import format_program
+from repro.machine.config import MachineConfig
+from repro.machine.counters import Event
+from repro.tools.pp import PP, clone_program
+
+from tests.conftest import compile_corpus
+
+
+class TestCloning:
+    def test_original_program_is_never_mutated(self):
+        program = compile_corpus("calls")
+        before = format_program(program)
+        pp = PP()
+        pp.flow_hw(program)
+        pp.context_hw(program)
+        pp.context_flow(program)
+        pp.edge_profile(program)
+        assert format_program(program) == before
+
+    def test_clone_is_deep(self):
+        program = compile_corpus("loop")
+        clone = clone_program(program)
+        clone.functions["main"].entry.instrs.pop(0)
+        assert len(list(program.functions["main"].instructions())) != len(
+            list(clone.functions["main"].instructions())
+        )
+
+
+class TestRuns:
+    def test_all_configs_agree_on_result(self, corpus_name):
+        program = compile_corpus(corpus_name)
+        pp = PP()
+        base = pp.baseline(program)
+        runs = [
+            pp.flow_hw(program),
+            pp.flow_freq(program),
+            pp.context_hw(program),
+            pp.context_flow(program),
+            pp.edge_profile(program),
+        ]
+        for run in runs:
+            assert run.return_value == base.return_value, run.label
+
+    def test_labels(self):
+        program = compile_corpus("loop")
+        pp = PP()
+        assert pp.baseline(program).label == "base"
+        assert pp.flow_hw(program).label == "flow+hw"
+        assert pp.context_hw(program).label == "context+hw"
+        assert pp.context_flow(program).label == "context+flow"
+
+    def test_overhead_vs(self):
+        program = compile_corpus("nested_loops")
+        pp = PP()
+        base = pp.baseline(program)
+        flow = pp.flow_hw(program)
+        assert flow.overhead_vs(base) > 1.0
+        assert base.overhead_vs(base) == pytest.approx(1.0)
+
+    def test_instrumented_runs_cost_more(self, corpus_name):
+        program = compile_corpus(corpus_name)
+        pp = PP()
+        base = pp.baseline(program)
+        for run in (pp.flow_hw(program), pp.context_flow(program)):
+            assert run.cycles >= base.cycles
+            assert run.result[Event.INSTRS] >= base.result[Event.INSTRS]
+
+
+class TestConfiguration:
+    def test_pic_events_plumbed(self):
+        program = compile_corpus("loop")
+        pp = PP(pic0_event=Event.CYCLES, pic1_event=Event.BRANCHES)
+        run = pp.flow_hw(program)
+        for values in run.flow.path_metrics("main").values():
+            # pic0 now carries cycles: at least one per instruction.
+            assert values[0] >= 1
+
+    def test_machine_config_plumbed(self):
+        # hash_table re-reads a 2KB table: it fits the default 16KB
+        # cache but thrashes a 1KB one.
+        program = compile_corpus("hash_table")
+        small_cache = MachineConfig(dcache_size=1024)
+        pp_small = PP(config=small_cache)
+        pp_big = PP()
+        misses_small = pp_small.baseline(program).result[Event.DC_MISS]
+        misses_big = pp_big.baseline(program).result[Event.DC_MISS]
+        assert misses_small > misses_big
+
+    def test_placement_plumbed(self):
+        program = compile_corpus("nested_loops")
+        simple = PP(placement="simple").flow_freq(program)
+        optimized = PP(placement="spanning_tree").flow_freq(program)
+        assert optimized.cycles <= simple.cycles
+
+    def test_config_not_shared_between_runs(self):
+        program = compile_corpus("loop")
+        pp = PP()
+        first = pp.baseline(program)
+        second = pp.baseline(program)
+        # Fresh machines: cold caches each time, identical counters.
+        assert first.result.counters == second.result.counters

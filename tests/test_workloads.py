@@ -1,0 +1,116 @@
+"""The synthetic workload suite: determinism, validity, published shapes."""
+
+import pytest
+
+from repro.ir.function import validate_program
+from repro.machine.vm import Machine
+from repro.tools.pp import PP
+from repro.workloads.suite import CFP95, CINT95, SPEC95, build_workload, workload_names
+
+SMALL = 0.25
+
+
+@pytest.fixture(scope="module")
+def checksums():
+    return {}
+
+
+def test_suite_has_18_benchmarks():
+    assert len(SPEC95) == 18
+    assert len(CINT95) == 8
+    assert len(CFP95) == 10
+
+
+def test_workload_names_filters():
+    assert set(workload_names("CINT95")) == set(CINT95)
+    assert set(workload_names("CFP95")) == set(CFP95)
+    assert set(workload_names()) == set(SPEC95)
+    with pytest.raises(ValueError):
+        workload_names("SPEC2000")
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(KeyError):
+        build_workload("999.nothing")
+
+
+@pytest.mark.parametrize("name", sorted(SPEC95))
+def test_workload_is_valid_ir(name):
+    program = build_workload(name, SMALL)
+    validate_program(program)
+
+
+@pytest.mark.parametrize("name", sorted(SPEC95))
+def test_workload_deterministic(name):
+    first = Machine(build_workload(name, SMALL)).run()
+    second = Machine(build_workload(name, SMALL)).run()
+    assert first.return_value == second.return_value
+    assert first.counters == second.counters
+
+
+@pytest.mark.parametrize("name", sorted(SPEC95))
+def test_workload_survives_all_profiling_configs(name):
+    program = build_workload(name, SMALL)
+    pp = PP()
+    base = pp.baseline(program)
+    for run in (
+        pp.flow_hw(program),
+        pp.context_hw(program),
+        pp.context_flow(program),
+        pp.edge_profile(program, placement="spanning_tree"),
+    ):
+        assert run.return_value == base.return_value, (name, run.label)
+        assert run.cycles >= base.cycles
+
+
+def test_scale_changes_work():
+    small = Machine(build_workload("129.compress", 0.25)).run()
+    large = Machine(build_workload("129.compress", 0.75)).run()
+    assert large.instructions > small.instructions
+
+
+class TestPublishedShapes:
+    """The qualitative results the generators are tuned to reproduce."""
+
+    def test_branchy_realizes_many_more_paths(self):
+        pp = PP()
+        go = pp.flow_hw(build_workload("099.go", 0.5))
+        tomcatv = pp.flow_hw(build_workload("101.tomcatv", 0.5))
+        assert go.path_profile.executed_paths() > 5 * tomcatv.path_profile.executed_paths()
+
+    def test_loop_kernel_concentrates_misses(self):
+        from repro.profiles.hotpaths import classify_paths
+
+        pp = PP()
+        run = pp.flow_hw(build_workload("101.tomcatv", 0.5))
+        report = classify_paths(run.path_profile, 0.01)
+        assert report.hot.miss_share(report.total_misses) > 0.8
+        assert report.hot.num <= 30
+
+    def test_branchy_needs_lower_threshold(self):
+        from repro.profiles.hotpaths import classify_paths
+
+        pp = PP()
+        run = pp.flow_hw(build_workload("099.go", 0.5))
+        at_1pct = classify_paths(run.path_profile, 0.01)
+        at_01pct = classify_paths(run.path_profile, 0.001)
+        share_1 = at_1pct.hot.miss_share(at_1pct.total_misses)
+        share_01 = at_01pct.hot.miss_share(at_01pct.total_misses)
+        assert share_1 < 0.75  # 1% threshold misses a lot
+        assert share_01 > share_1  # lowering it recovers coverage
+
+    def test_interpreter_builds_callee_lists(self):
+        pp = PP()
+        run = pp.context_flow(build_workload("130.li", 0.25))
+        assert run.cct.stats.list_hits > 0
+
+    def test_vortex_has_largest_cct(self):
+        pp = PP()
+        vortex = pp.context_flow(build_workload("147.vortex", 0.25))
+        compress = pp.context_flow(build_workload("129.compress", 0.25))
+        assert len(vortex.cct.records) > 3 * len(compress.cct.records)
+
+    def test_recursive_workload_creates_backedges(self):
+        pp = PP()
+        run = pp.context_flow(build_workload("145.fpppp", 0.25))
+        assert run.cct.stats.backedges_created > 0
