@@ -6,6 +6,12 @@ the SPEC95-like suite and writes the rendered table under
 
 ``REPRO_BENCH_SCALE`` (default 0.5) scales workload iteration counts;
 ``REPRO_BENCH_SUITE`` can restrict to ``CINT95``/``CFP95``.
+
+``REPRO_BENCH_JOBS=N`` fans independent workload simulations out over
+``N`` forked processes (every table experiment accepts ``jobs`` and
+reads this variable by default through
+:func:`repro.tools.bench_runner.run_tasks`).  Unset, ``0``, or ``1``
+keeps everything serial in-process.
 """
 
 import os
@@ -13,8 +19,13 @@ import pathlib
 
 import pytest
 
+from repro.tools.bench_runner import bench_jobs, run_tasks  # noqa: F401  (re-export)
+
 #: Workload scale used by all table benchmarks.
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+#: Process fan-out for independent workloads (0 = serial).
+JOBS = bench_jobs()
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 

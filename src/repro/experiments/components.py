@@ -17,34 +17,36 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.tools.bench_runner import run_tasks
 from repro.tools.pp import PP
 from repro.workloads.suite import SPEC95, build_workload
+
+
+def _workload_row(task) -> Dict[str, object]:
+    pp, name, scale = task
+    program = build_workload(name, scale)
+    base = pp.baseline(program)
+    edge_simple = pp.edge_profile(program, placement="simple")
+    edge_opt = pp.edge_profile(program, placement="spanning_tree")
+    path_simple = pp.flow_freq(program, placement="simple")
+    path_opt = pp.flow_freq(program, placement="spanning_tree")
+    flow_hw = pp.flow_hw(program)
+    return {
+        "Benchmark": name,
+        "Edge simple x": round(edge_simple.overhead_vs(base), 3),
+        "Edge opt x": round(edge_opt.overhead_vs(base), 3),
+        "Path simple x": round(path_simple.overhead_vs(base), 3),
+        "Path opt x": round(path_opt.overhead_vs(base), 3),
+        "Flow+HW x": round(flow_hw.overhead_vs(base), 3),
+    }
 
 
 def overhead_components_experiment(
     names: Optional[Sequence[str]] = None,
     scale: float = 1.0,
     pp: Optional[PP] = None,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     pp = pp or PP()
     names = list(names) if names is not None else list(SPEC95)
-    rows: List[Dict[str, object]] = []
-    for name in names:
-        program = build_workload(name, scale)
-        base = pp.baseline(program)
-        edge_simple = pp.edge_profile(program, placement="simple")
-        edge_opt = pp.edge_profile(program, placement="spanning_tree")
-        path_simple = pp.flow_freq(program, placement="simple")
-        path_opt = pp.flow_freq(program, placement="spanning_tree")
-        flow_hw = pp.flow_hw(program)
-        rows.append(
-            {
-                "Benchmark": name,
-                "Edge simple x": round(edge_simple.overhead_vs(base), 3),
-                "Edge opt x": round(edge_opt.overhead_vs(base), 3),
-                "Path simple x": round(path_simple.overhead_vs(base), 3),
-                "Path opt x": round(path_opt.overhead_vs(base), 3),
-                "Flow+HW x": round(flow_hw.overhead_vs(base), 3),
-            }
-        )
-    return rows
+    return run_tasks(_workload_row, [(pp, name, scale) for name in names], jobs=jobs)

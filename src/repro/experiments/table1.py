@@ -13,43 +13,52 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.reporting import arithmetic_mean
+from repro.tools.bench_runner import run_tasks
 from repro.tools.pp import PP
 from repro.workloads.suite import SPEC95, build_workload
+
+
+def _workload_row(task) -> Dict[str, object]:
+    """One workload's Table 1 row (module-level: pickles for fan-out)."""
+    pp, name, scale = task
+    program = build_workload(name, scale)
+    base = pp.baseline(program)
+    flow_hw = pp.flow_hw(program)
+    context_hw = pp.context_hw(program)
+    context_flow = pp.context_flow(program)
+    for run in (flow_hw, context_hw, context_flow):
+        if run.return_value != base.return_value:
+            raise AssertionError(
+                f"{name}: {run.label} changed the program result "
+                f"({run.return_value!r} != {base.return_value!r})"
+            )
+    return {
+        "Benchmark": name,
+        "Base Time": base.cycles,
+        "Flow+HW Time": flow_hw.cycles,
+        "Flow+HW x": round(flow_hw.overhead_vs(base), 2),
+        "Context+HW Time": context_hw.cycles,
+        "Context+HW x": round(context_hw.overhead_vs(base), 2),
+        "Context+Flow Time": context_flow.cycles,
+        "Context+Flow x": round(context_flow.overhead_vs(base), 2),
+    }
 
 
 def overhead_experiment(
     names: Optional[Sequence[str]] = None,
     scale: float = 1.0,
     pp: Optional[PP] = None,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
-    """Rows of Table 1, plus suite-average rows."""
+    """Rows of Table 1, plus suite-average rows.
+
+    Workloads simulate independently; ``jobs`` (default: the
+    ``REPRO_BENCH_JOBS`` environment variable) fans them out across
+    processes.
+    """
     pp = pp or PP()
     names = list(names) if names is not None else list(SPEC95)
-    rows: List[Dict[str, object]] = []
-    for name in names:
-        program = build_workload(name, scale)
-        base = pp.baseline(program)
-        flow_hw = pp.flow_hw(program)
-        context_hw = pp.context_hw(program)
-        context_flow = pp.context_flow(program)
-        for run in (flow_hw, context_hw, context_flow):
-            if run.return_value != base.return_value:
-                raise AssertionError(
-                    f"{name}: {run.label} changed the program result "
-                    f"({run.return_value!r} != {base.return_value!r})"
-                )
-        rows.append(
-            {
-                "Benchmark": name,
-                "Base Time": base.cycles,
-                "Flow+HW Time": flow_hw.cycles,
-                "Flow+HW x": round(flow_hw.overhead_vs(base), 2),
-                "Context+HW Time": context_hw.cycles,
-                "Context+HW x": round(context_hw.overhead_vs(base), 2),
-                "Context+Flow Time": context_flow.cycles,
-                "Context+Flow x": round(context_flow.overhead_vs(base), 2),
-            }
-        )
+    rows = run_tasks(_workload_row, [(pp, name, scale) for name in names], jobs=jobs)
     rows.extend(_averages(rows, names))
     return rows
 

@@ -18,6 +18,7 @@ from repro.profiles.perturbation import (
     estimate_instrumentation_instructions,
     perturbation_ratios,
 )
+from repro.tools.bench_runner import run_tasks
 from repro.tools.pp import PP
 from repro.workloads.suite import SPEC95, build_workload
 
@@ -33,38 +34,39 @@ _LABELS = {
 }
 
 
+def _workload_row(task) -> Dict[str, object]:
+    pp, name, scale = task
+    program = build_workload(name, scale)
+    base = pp.baseline(program)
+    flow = pp.flow_hw(program)
+    context = pp.context_hw(program)
+    f_ratios = perturbation_ratios(flow.result.counters, base.result.counters)
+    c_ratios = perturbation_ratios(context.result.counters, base.result.counters)
+    row: Dict[str, object] = {"Benchmark": name}
+    for event in PERTURBATION_EVENTS:
+        label = _LABELS[event]
+        row[f"{label} F"] = _round(f_ratios[event])
+        row[f"{label} C"] = _round(c_ratios[event])
+    # The §3.2 correction: subtract the frequency-predicted
+    # instrumentation instructions from the flow run's count.  This
+    # is the adjustment behind the paper's near-1.0 Insts column.
+    estimate = estimate_instrumentation_instructions(flow.flow)
+    corrected = flow.result[Event.INSTRS] - estimate
+    base_instrs = base.result[Event.INSTRS]
+    row["Insts F corr"] = _round(corrected / base_instrs if base_instrs else None)
+    return row
+
+
 def perturbation_experiment(
     names: Optional[Sequence[str]] = None,
     scale: float = 1.0,
     pp: Optional[PP] = None,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Rows: one per benchmark with F and C ratio columns per metric."""
     pp = pp or PP()
     names = list(names) if names is not None else list(SPEC95)
-    rows: List[Dict[str, object]] = []
-    for name in names:
-        program = build_workload(name, scale)
-        base = pp.baseline(program)
-        flow = pp.flow_hw(program)
-        context = pp.context_hw(program)
-        f_ratios = perturbation_ratios(flow.result.counters, base.result.counters)
-        c_ratios = perturbation_ratios(context.result.counters, base.result.counters)
-        row: Dict[str, object] = {"Benchmark": name}
-        for event in PERTURBATION_EVENTS:
-            label = _LABELS[event]
-            row[f"{label} F"] = _round(f_ratios[event])
-            row[f"{label} C"] = _round(c_ratios[event])
-        # The §3.2 correction: subtract the frequency-predicted
-        # instrumentation instructions from the flow run's count.  This
-        # is the adjustment behind the paper's near-1.0 Insts column.
-        estimate = estimate_instrumentation_instructions(flow.flow)
-        corrected = flow.result[Event.INSTRS] - estimate
-        base_instrs = base.result[Event.INSTRS]
-        row["Insts F corr"] = _round(
-            corrected / base_instrs if base_instrs else None
-        )
-        rows.append(row)
-    return rows
+    return run_tasks(_workload_row, [(pp, name, scale) for name in names], jobs=jobs)
 
 
 def _round(value) -> object:

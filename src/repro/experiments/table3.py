@@ -17,27 +17,31 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.cct.stats import cct_statistics
+from repro.tools.bench_runner import run_tasks
 from repro.tools.pp import PP
 from repro.workloads.suite import SPEC95, build_workload
+
+
+def _workload_row(task) -> Dict[str, object]:
+    pp, name, scale = task
+    program = build_workload(name, scale)
+    run = pp.context_flow(program)
+    statistics = cct_statistics(
+        run.cct,
+        program=run.program,
+        flow_functions=run.flow.functions,
+    )
+    row: Dict[str, object] = {"Benchmark": name}
+    row.update(statistics.row())
+    return row
 
 
 def cct_stats_experiment(
     names: Optional[Sequence[str]] = None,
     scale: float = 1.0,
     pp: Optional[PP] = None,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     pp = pp or PP()
     names = list(names) if names is not None else list(SPEC95)
-    rows: List[Dict[str, object]] = []
-    for name in names:
-        program = build_workload(name, scale)
-        run = pp.context_flow(program)
-        statistics = cct_statistics(
-            run.cct,
-            program=run.program,
-            flow_functions=run.flow.functions,
-        )
-        row: Dict[str, object] = {"Benchmark": name}
-        row.update(statistics.row())
-        rows.append(row)
-    return rows
+    return run_tasks(_workload_row, [(pp, name, scale) for name in names], jobs=jobs)

@@ -15,11 +15,35 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.profiles.hotpaths import classify_paths, paths_per_hot_block
+from repro.tools.bench_runner import run_tasks
 from repro.tools.pp import PP
 from repro.workloads.suite import SPEC95, build_workload
 
 #: Workloads needing the lowered threshold (paper §6.4.1).
 MANY_PATH_WORKLOADS = ("099.go", "126.gcc")
+
+
+def _workload_rows(task) -> List[Dict[str, object]]:
+    pp, name, scale, threshold, low_threshold = task
+    program = build_workload(name, scale)
+    run = pp.flow_hw(program)
+    report = classify_paths(run.path_profile, threshold)
+    row: Dict[str, object] = {"Benchmark": name, "Threshold": threshold}
+    row.update(report.row())
+    paths_per_block, _ = paths_per_hot_block(run.path_profile, report)
+    row["Paths/Block"] = round(paths_per_block, 1)
+    rows = [row]
+    if name in MANY_PATH_WORKLOADS:
+        low = classify_paths(run.path_profile, low_threshold)
+        low_row: Dict[str, object] = {
+            "Benchmark": f"{name} @0.1%",
+            "Threshold": low_threshold,
+        }
+        low_row.update(low.row())
+        ppb, _ = paths_per_hot_block(run.path_profile, low)
+        low_row["Paths/Block"] = round(ppb, 1)
+        rows.append(low_row)
+    return rows
 
 
 def hot_path_experiment(
@@ -28,27 +52,10 @@ def hot_path_experiment(
     pp: Optional[PP] = None,
     threshold: float = 0.01,
     low_threshold: float = 0.001,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     pp = pp or PP()
     names = list(names) if names is not None else list(SPEC95)
-    rows: List[Dict[str, object]] = []
-    for name in names:
-        program = build_workload(name, scale)
-        run = pp.flow_hw(program)
-        report = classify_paths(run.path_profile, threshold)
-        row: Dict[str, object] = {"Benchmark": name, "Threshold": threshold}
-        row.update(report.row())
-        paths_per_block, _ = paths_per_hot_block(run.path_profile, report)
-        row["Paths/Block"] = round(paths_per_block, 1)
-        rows.append(row)
-        if name in MANY_PATH_WORKLOADS:
-            low = classify_paths(run.path_profile, low_threshold)
-            low_row: Dict[str, object] = {
-                "Benchmark": f"{name} @0.1%",
-                "Threshold": low_threshold,
-            }
-            low_row.update(low.row())
-            ppb, _ = paths_per_hot_block(run.path_profile, low)
-            low_row["Paths/Block"] = round(ppb, 1)
-            rows.append(low_row)
-    return rows
+    tasks = [(pp, name, scale, threshold, low_threshold) for name in names]
+    per_workload = run_tasks(_workload_rows, tasks, jobs=jobs)
+    return [row for rows in per_workload for row in rows]

@@ -12,8 +12,19 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.profiles.hotprocs import classify_procedures
+from repro.tools.bench_runner import run_tasks
 from repro.tools.pp import PP
 from repro.workloads.suite import SPEC95, build_workload
+
+
+def _workload_row(task) -> Dict[str, object]:
+    pp, name, scale, threshold = task
+    program = build_workload(name, scale)
+    run = pp.flow_hw(program)
+    report = classify_procedures(run.path_profile, threshold)
+    row: Dict[str, object] = {"Benchmark": name}
+    row.update(report.row())
+    return row
 
 
 def hot_procedure_experiment(
@@ -21,15 +32,9 @@ def hot_procedure_experiment(
     scale: float = 1.0,
     pp: Optional[PP] = None,
     threshold: float = 0.01,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     pp = pp or PP()
     names = list(names) if names is not None else list(SPEC95)
-    rows: List[Dict[str, object]] = []
-    for name in names:
-        program = build_workload(name, scale)
-        run = pp.flow_hw(program)
-        report = classify_procedures(run.path_profile, threshold)
-        row: Dict[str, object] = {"Benchmark": name}
-        row.update(report.row())
-        rows.append(row)
-    return rows
+    tasks = [(pp, name, scale, threshold) for name in names]
+    return run_tasks(_workload_row, tasks, jobs=jobs)

@@ -27,11 +27,16 @@ class IRValidationError(Exception):
 class Block:
     """A basic block: straight-line instructions ending in one terminator."""
 
-    __slots__ = ("name", "instrs")
+    __slots__ = ("name", "instrs", "_decode_cache")
 
     def __init__(self, name: str, instrs: Optional[List[Instruction]] = None):
         self.name = name
         self.instrs: List[Instruction] = instrs if instrs is not None else []
+        #: Compiled-code cache of :mod:`repro.machine.engine`; the
+        #: generated source depends only on the instruction list, the
+        #: block's base address, and a few config constants, so machines
+        #: simulating the same program share one compile.
+        self._decode_cache = None
 
     @property
     def terminator(self) -> Instruction:

@@ -9,6 +9,13 @@ including the write-then-read requirement the paper works around
 (§3.1).  Instrumentation executes on the same machine, so it perturbs
 the caches, the predictor, and the counters — which is precisely the
 phenomenon Table 2 studies.
+
+Two interchangeable execution engines run the IR (``Machine(...,
+engine=...)``): ``"simple"``, the reference if/elif interpreter, and
+``"fast"`` (default), the predecoded block engine in
+:mod:`repro.machine.engine` — decode-once cached segments with
+block-static cost sums and I-cache probe points hoisted out of the hot
+loop.  The two are bit-identical in every counter; see docs/API.md.
 """
 
 from repro.machine.config import MachineConfig

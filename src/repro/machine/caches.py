@@ -77,12 +77,16 @@ class SetAssociativeCache:
         index = block & self._set_mask
         way = self.ways[index]
         self.accesses += 1
-        try:
-            way.remove(block)
-            way.append(block)
-            return True
-        except ValueError:
-            pass
+        # Fast path: re-touching the most recent line leaves LRU order
+        # unchanged, and a membership scan beats catching ValueError on
+        # the (frequent) miss path.
+        if way:
+            if way[-1] == block:
+                return True
+            if block in way:
+                way.remove(block)
+                way.append(block)
+                return True
         self.misses += 1
         if allocate:
             way.append(block)

@@ -1,0 +1,922 @@
+"""Predecoded block execution engine ("decode once, execute many").
+
+The simple interpreter in :mod:`repro.machine.vm` re-inspects
+``instr.kind`` through a long ``if/elif`` chain for every *dynamic*
+instruction and recomputes fetch bookkeeping (``address >> line_bits``)
+per instruction.  All of that is static per *static* instruction, so
+this engine compiles each basic block once and caches the result on the
+machine:
+
+* the block is partitioned into **segments** — maximal straight-line
+  runs ending at a control transfer (branch, call, return, longjmp), a
+  setjmp (so longjmp resume points always land on a segment boundary),
+  or the :data:`SEGMENT_CAP` safety split;
+* each segment's common instructions (const/move/binop/fbinop, loads,
+  stores, conditional and unconditional branches, alloc and the
+  path-register pseudo-ops) are compiled to one specialized Python
+  function — generated source with register numbers, immediates,
+  addresses and cost constants inlined as literals, ``exec``-ed once at
+  decode time;
+* stateful-but-rare instructions (calls, returns, setjmp/longjmp and
+  every instrumentation hook) become one specialized closure handler
+  per instruction, with operands, callee records and cost constants
+  bound at decode time; segments invoke them directly;
+* block-static work is hoisted out of the inner loop: per-run
+  ``IC_REF``/``INSTRS``/``CYCLES``/``FP_STALL`` increments are batched
+  into partial sums flushed before the next counter *observer*, and the
+  per-instruction ``address >> line_bits`` check is replaced by probes
+  at precomputed I-cache line-crossing addresses.
+
+Equivalence argument: inside a batched run no operation reads a
+counter, so only the *order* of commutative additions into the counter
+bank differs from one-at-a-time execution; the totals at every
+observation point are identical.  The observers are store-buffer pushes
+(which read ``CYCLES``), PIC reads (which read any event), the signal
+delivery and budget checks at block/segment boundaries, and run end —
+the decoder flushes pending cost sums before each of them.  I-cache
+probes happen at exactly the addresses where the dynamic
+``iline != last_iline`` test of the simple engine would fire: within a
+segment the line sequence is static, and the one dynamic case (the
+first instruction executed after a control transfer) is checked against
+the machine's line state at every segment head and inside every
+closure handler.
+
+Decoded blocks are cached per machine, keyed by ``(function, block)``
+and validated against ``id(block.instrs)`` and ``len(block.instrs)``,
+so :mod:`repro.edit` splices (which grow the instruction list in place)
+invalidate stale entries automatically; call
+:meth:`Machine.invalidate_decoded` after any other program surgery.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.ir.instructions import (
+    BINARY_OPS,
+    FLOAT_OPS,
+    Imm,
+    Kind,
+    _int_div,
+    _int_mod,
+)
+from repro.machine.counters import Event
+from repro.machine.memory import WORD
+
+_CYCLES = int(Event.CYCLES)
+_INSTRS = int(Event.INSTRS)
+_DC_READ = int(Event.DC_READ)
+_DC_WRITE = int(Event.DC_WRITE)
+_DC_READ_MISS = int(Event.DC_READ_MISS)
+_DC_WRITE_MISS = int(Event.DC_WRITE_MISS)
+_DC_MISS = int(Event.DC_MISS)
+_IC_REF = int(Event.IC_REF)
+_IC_MISS = int(Event.IC_MISS)
+_BRANCHES = int(Event.BRANCHES)
+_BR_TAKEN = int(Event.BR_TAKEN)
+_BR_MISPRED = int(Event.BR_MISPRED)
+_FP_STALL = int(Event.FP_STALL)
+_LOADS = int(Event.LOADS)
+_STORES = int(Event.STORES)
+
+#: Upper bound on instructions compiled into one segment: the engine
+#: checks the instruction budget between segments, so this bounds how
+#: far past ``max_instructions`` a straight-line run can get.
+SEGMENT_CAP = 64
+
+#: Kinds compiled inline into generated segment code.  Everything else
+#: gets a per-instruction closure handler.
+_INLINE_KINDS = frozenset(
+    {
+        Kind.CONST,
+        Kind.MOVE,
+        Kind.BINOP,
+        Kind.FBINOP,
+        Kind.LOAD,
+        Kind.STORE,
+        Kind.FRAME_LOAD,
+        Kind.FRAME_STORE,
+        Kind.ALLOC,
+        Kind.BR,
+        Kind.CBR,
+        Kind.PATH_RESET,
+        Kind.PATH_ADD,
+    }
+)
+
+#: Integer binops that map to a Python operator with semantics
+#: identical to the BINARY_OPS lambda (comparisons are emitted as
+#: ``1 if a < b else 0`` so results stay int, never bool).
+_INT_OP_FMT = {
+    "add": "{a} + {b}",
+    "sub": "{a} - {b}",
+    "mul": "{a} * {b}",
+    "and": "{a} & {b}",
+    "or": "{a} | {b}",
+    "xor": "{a} ^ {b}",
+    "shl": "{a} << {b}",
+    "shr": "{a} >> {b}",
+    "eq": "1 if {a} == {b} else 0",
+    "ne": "1 if {a} != {b} else 0",
+    "lt": "1 if {a} < {b} else 0",
+    "le": "1 if {a} <= {b} else 0",
+    "gt": "1 if {a} > {b} else 0",
+    "ge": "1 if {a} >= {b} else 0",
+    "div": "_idiv({a}, {b})",
+    "mod": "_imod({a}, {b})",
+    "min": "min({a}, {b})",
+    "max": "max({a}, {b})",
+}
+
+_FLOAT_OP_FMT = {
+    "fadd": "{a} + {b}",
+    "fsub": "{a} - {b}",
+    "fmul": "{a} * {b}",
+    "fdiv": "_fdiv({a}, {b})",
+}
+
+
+def _literal(value) -> str:
+    """A source literal that evaluates to exactly ``value``."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return f"float({str(value)!r})"
+    return repr(value)
+
+
+class DecodedBlock:
+    """One block's compiled step list plus cache-validation metadata."""
+
+    __slots__ = ("steps", "nsteps", "resume", "instrs_id", "n_instrs", "total_icost", "source")
+
+    def __init__(
+        self,
+        steps: List[Callable],
+        resume: Dict[int, int],
+        instrs_id: int,
+        n_instrs: int,
+        total_icost: int,
+        source: str,
+    ):
+        self.steps = steps
+        self.nsteps = len(steps)
+        #: Instruction index -> step index, defined for every step start
+        #: (block entry, and the instruction after each call/setjmp —
+        #: the only places ``frame.index`` can point mid-block).
+        self.resume = resume
+        self.instrs_id = instrs_id
+        self.n_instrs = n_instrs
+        self.total_icost = total_icost
+        #: The generated segment source (kept for tests and debugging).
+        self.source = source
+
+
+# ---------------------------------------------------------------------------
+# Closure handlers for the non-inlined kinds (one per instruction; each
+# performs its own fetch so counter observations keep the simple
+# engine's exact order).
+# ---------------------------------------------------------------------------
+
+
+def _make_handler(machine, counts, instr, addr: int, iline: int, next_index: int, fname: str):
+    from repro.machine.vm import Frame, MachineError
+
+    kind = instr.kind
+    config = machine.config
+    icache_access = machine.icache.access
+    icache_penalty = config.icache_miss_penalty
+    icost = instr.icost
+    cell = machine._iline
+    IC_REF, IC_MISS, CYCLES, INSTRS = _IC_REF, _IC_MISS, _CYCLES, _INSTRS
+    frames = machine._frames
+    functions = machine.program.functions
+
+    # The three hot handler kinds get fully fused closures (fetch and
+    # behaviour in one function); everything else goes through the
+    # generic fetch wrapper around _make_body.
+    if kind == Kind.CALL or kind == Kind.ICALL:
+        frame_base = machine.memory.frame_base
+        frame_words = config.frame_words
+        max_call_depth = config.max_call_depth
+        dst, site, args = instr.dst, instr.site, instr.args
+        nargs = len(args)
+        imm_args = tuple(
+            (pos, a.value) for pos, a in enumerate(args) if a.__class__ is Imm
+        )
+        reg_args = tuple(
+            (pos, a) for pos, a in enumerate(args) if a.__class__ is not Imm
+        )
+        if kind == Kind.CALL:
+            callee = functions.get(instr.callee)
+            callee_name = instr.callee
+            table = None
+            func_reg = None
+        else:
+            callee = None
+            callee_name = None
+            table = machine.program.function_table
+            func_reg = instr.func
+
+        def step(frame):
+            if iline != cell[0]:
+                cell[0] = iline
+                if not icache_access(addr):
+                    counts[IC_MISS] += 1
+                    counts[CYCLES] += icache_penalty
+            counts[IC_REF] += 1
+            counts[INSTRS] += icost
+            counts[CYCLES] += icost
+            if callee is not None:
+                target = callee
+            elif table is None:
+                raise MachineError(f"call to unknown {callee_name!r}")
+            else:
+                findex = frame.regs[func_reg]
+                if not 0 <= findex < len(table):
+                    raise MachineError(f"indirect call through bad index {findex!r}")
+                target = functions[table[findex]]
+            if len(frames) >= max_call_depth:
+                raise MachineError("call stack overflow")
+            if nargs > target.num_params:
+                raise MachineError(f"{fname}: too many args for {target.name}")
+            frame.index = next_index
+            new_frame = Frame(target, frame_base(len(frames), frame_words), dst)
+            new_regs = new_frame.regs
+            for pos, value in imm_args:
+                new_regs[pos] = value
+            regs = frame.regs
+            for pos, reg in reg_args:
+                new_regs[pos] = regs[reg]
+            frames.append(new_frame)
+            machine.depth = len(frames)
+            tracer = machine.tracer
+            if tracer is not None:
+                tracer.on_enter(target.name, site)
+                tracer.on_block(target.name, new_frame.block_name)
+            return True
+
+        return step
+
+    if kind == Kind.RET:
+        rv = instr.value
+        rv_imm = rv is not None and rv.__class__ is Imm
+        rv_value = rv.value if rv_imm else None
+
+        def step(frame):
+            if iline != cell[0]:
+                cell[0] = iline
+                if not icache_access(addr):
+                    counts[IC_MISS] += 1
+                    counts[CYCLES] += icache_penalty
+            counts[IC_REF] += 1
+            counts[INSTRS] += icost
+            counts[CYCLES] += icost
+            if rv is None:
+                value = None
+            elif rv_imm:
+                value = rv_value
+            else:
+                value = frame.regs[rv]
+            frames.pop()
+            machine.depth = len(frames)
+            if frame.is_signal:
+                machine._signal_depth -= 1
+                machine._next_signal_at = counts[INSTRS] + machine._signal_period
+                if machine.cct_runtime is not None:
+                    machine.cct_runtime.on_signal_return(machine)
+            tracer = machine.tracer
+            if tracer is not None:
+                tracer.on_exit(fname, value)
+            if not frames:
+                machine._return_value = value
+            else:
+                if frame.ret_reg is not None and not frame.is_signal:
+                    frames[-1].regs[frame.ret_reg] = 0 if value is None else value
+            return True
+
+        return step
+
+    body = _make_body(machine, counts, instr, next_index, fname, Frame, MachineError)
+
+    def step(frame):
+        if iline != cell[0]:
+            cell[0] = iline
+            if not icache_access(addr):
+                counts[IC_MISS] += 1
+                counts[CYCLES] += icache_penalty
+        counts[IC_REF] += 1
+        counts[INSTRS] += icost
+        counts[CYCLES] += icost
+        return body(frame)
+
+    return step
+
+
+def _make_body(machine, counts, instr, next_index: int, fname: str, Frame, MachineError):
+    """Post-fetch behaviour of one non-inlined, non-fused instruction."""
+    kind = instr.kind
+    config = machine.config
+    frames = machine._frames
+    functions = machine.program.functions
+
+    if kind == Kind.SETJMP:
+        jmpbufs = machine._jmpbufs
+        dst, env = instr.dst, instr.env
+
+        def body(frame):
+            handle = len(jmpbufs)
+            jmpbufs.append((len(frames), frame.block_name, next_index, dst))
+            regs = frame.regs
+            regs[env] = handle
+            regs[dst] = 0
+            return False
+
+        return body
+
+    if kind == Kind.LONGJMP:
+        jmpbufs = machine._jmpbufs
+        env, jv = instr.env, instr.value
+        jv_imm = jv.__class__ is Imm
+        jv_value = jv.value if jv_imm else None
+
+        def body(frame):
+            regs = frame.regs
+            handle = regs[env]
+            if not 0 <= handle < len(jmpbufs):
+                raise MachineError(f"longjmp through bad handle {handle!r}")
+            depth, block_name, resume_index, dst_reg = jmpbufs[handle]
+            if depth > len(frames):
+                raise MachineError("longjmp to a dead frame")
+            value = jv_value if jv_imm else regs[jv]
+            if value == 0:
+                value = 1
+            tracer = machine.tracer
+            while len(frames) > depth:
+                dead = frames.pop()
+                if tracer is not None:
+                    tracer.on_exit(dead.function.name, None)
+            machine.depth = len(frames)
+            if machine.cct_runtime is not None:
+                machine.cct_runtime.unwind_to(machine, len(frames))
+            target = frames[-1]
+            target.block_name = block_name
+            target.index = resume_index
+            target.regs[dst_reg] = value
+            if tracer is not None:
+                tracer.on_block(target.function.name, block_name)
+            return True
+
+        return body
+
+    if kind == Kind.PATH_COMMIT:
+
+        def body(frame, instr=instr):
+            machine._require_path_runtime().commit(machine, frame, instr)
+            return False
+
+        return body
+
+    if kind == Kind.HWC_ACCUM:
+
+        def body(frame, instr=instr):
+            machine._require_path_runtime().accumulate(machine, frame, instr)
+            return False
+
+        return body
+
+    if kind == Kind.EDGE_COUNT:
+
+        def body(frame, instr=instr):
+            machine._require_path_runtime().edge_count(machine, instr)
+            return False
+
+        return body
+
+    if kind == Kind.HWC_ZERO:
+        pic = machine.pic
+
+        def body(frame):
+            pic.write_zero()
+            pic.read()
+            return False
+
+        return body
+
+    if kind == Kind.HWC_SAVE:
+        pic = machine.pic
+        probe_write = machine.probe_write
+        save_off = (config.frame_words - 1) * WORD
+
+        def body(frame):
+            frame.saved_pic = pic.read()
+            probe_write(frame.base_addr + save_off, frame.saved_pic[0])
+            return False
+
+        return body
+
+    if kind == Kind.HWC_RESTORE:
+        pic = machine.pic
+        probe_read = machine.probe_read
+        save_off = (config.frame_words - 1) * WORD
+
+        def body(frame):
+            probe_read(frame.base_addr + save_off)
+            pic.write_values(*frame.saved_pic)
+            pic.read()
+            return False
+
+        return body
+
+    if kind == Kind.CCT_ENTER:
+
+        def body(frame, instr=instr):
+            machine._require_cct_runtime().enter(machine, frame, instr)
+            return False
+
+        return body
+
+    if kind == Kind.CCT_CALL:
+
+        def body(frame, instr=instr):
+            machine._require_cct_runtime().before_call(machine, frame, instr)
+            return False
+
+        return body
+
+    if kind == Kind.CCT_EXIT:
+
+        def body(frame, instr=instr):
+            machine._require_cct_runtime().exit(machine, frame, instr)
+            return False
+
+        return body
+
+    if kind == Kind.CCT_PROBE:
+
+        def body(frame, instr=instr):
+            machine._require_cct_runtime().probe(machine, frame, instr)
+            return False
+
+        return body
+
+    def body(frame):  # pragma: no cover - validation rejects unknown kinds
+        raise MachineError(f"unimplemented instruction kind {kind!r}")
+
+    return body
+
+
+# ---------------------------------------------------------------------------
+# Segment code generation
+# ---------------------------------------------------------------------------
+
+
+class _SegmentWriter:
+    """Emits one segment's specialized source, batching static costs.
+
+    Fetch costs (``IC_REF``/``INSTRS``/``CYCLES``/``FP_STALL``) of
+    consecutive inlined instructions accumulate into partial sums that
+    are flushed before the next *observer* — a store (its store-buffer
+    push reads ``CYCLES``), a closure handler (instrumentation hooks
+    read the PIC counters and do their own cost accounting), a control
+    transfer, or segment end.  I-cache probes are emitted in
+    instruction order at line-crossing addresses only.
+    """
+
+    def __init__(self, machine, fname: str, alloc_link: Callable[[], int]):
+        self.lines: List[str] = []
+        self.machine = machine
+        self.fname = fname
+        self.alloc_link = alloc_link
+        #: Per-segment maker parameters beyond the fixed ones, in
+        #: emission order: ("h", instr_index) handler closures and
+        #: ("lk", n) successor-link cells.
+        self.extras: List[Tuple[str, int]] = []
+        self.config = machine.config
+        self.penalty = machine.config.icache_miss_penalty
+        self.write_allocate = machine.config.dcache_write_allocate
+        self.fp_latencies = machine.config.fp_latencies
+        # pending cost sums
+        self.n = 0
+        self.icost = 0
+        self.fp = 0
+        # I-cache line of the previous emitted instruction; None until
+        # the segment head's dynamic check has run.
+        self.prev_iline: Optional[int] = None
+        self.cell_stale = False
+
+    def emit(self, line: str, indent: int = 2) -> None:
+        self.lines.append("    " * indent + line)
+
+    # -- fetch ----------------------------------------------------------------
+
+    def fetch(self, addr: int, iline: int, icost: int) -> None:
+        if self.prev_iline is None:
+            # Dynamic head check: the previous dynamic instruction ran
+            # in another segment (or another block entirely).
+            self.emit(f"if {iline} != _il[0]:")
+            self.emit(f"    if not _ica({addr}):")
+            self.emit(f"        counts[{_IC_MISS}] += 1")
+            self.emit(f"        counts[{_CYCLES}] += {self.penalty}")
+        elif iline != self.prev_iline:
+            self.emit(f"if not _ica({addr}):")
+            self.emit(f"    counts[{_IC_MISS}] += 1")
+            self.emit(f"    counts[{_CYCLES}] += {self.penalty}")
+        self.prev_iline = iline
+        self.cell_stale = True
+        self.n += 1
+        self.icost += icost
+
+    def flush_costs(self) -> None:
+        if self.n:
+            self.emit(f"counts[{_IC_REF}] += {self.n}")
+            self.emit(f"counts[{_INSTRS}] += {self.icost}")
+            self.emit(f"counts[{_CYCLES}] += {self.icost + self.fp}")
+            if self.fp:
+                self.emit(f"counts[{_FP_STALL}] += {self.fp}")
+            self.n = self.icost = self.fp = 0
+
+    def sync_cell(self) -> None:
+        """Bring the machine's I-cache line state up to date (needed
+        before anything that performs its own dynamic head check)."""
+        if self.cell_stale:
+            self.emit(f"_il[0] = {self.prev_iline}")
+            self.cell_stale = False
+
+    # -- operand helpers -------------------------------------------------------
+
+    @staticmethod
+    def _operand(value) -> str:
+        if value.__class__ is Imm:
+            return _literal(value.value)
+        return f"regs[{value}]"
+
+    # -- instruction bodies ----------------------------------------------------
+
+    def inline(self, instr, addr: int, iline: int) -> None:
+        kind = instr.kind
+        self.fetch(addr, iline, instr.icost)
+        if kind == Kind.BINOP:
+            expr = _INT_OP_FMT[instr.op].format(
+                a=f"regs[{instr.a}]", b=self._operand(instr.b)
+            )
+            self.emit(f"regs[{instr.dst}] = {expr}")
+        elif kind == Kind.CONST:
+            self.emit(f"regs[{instr.dst}] = {_literal(instr.value)}")
+        elif kind == Kind.MOVE:
+            self.emit(f"regs[{instr.dst}] = regs[{instr.src}]")
+        elif kind == Kind.FBINOP:
+            expr = _FLOAT_OP_FMT[instr.op].format(
+                a=f"regs[{instr.a}]", b=self._operand(instr.b)
+            )
+            self.emit(f"regs[{instr.dst}] = {expr}")
+            self.fp += self.fp_latencies[instr.op] - 1
+        elif kind == Kind.LOAD or kind == Kind.FRAME_LOAD:
+            if kind == Kind.LOAD:
+                offset = f" + {instr.offset}" if instr.offset else ""
+                self.emit(f"_a = regs[{instr.base}]{offset}")
+            else:
+                self.emit(f"_a = frame.base_addr + {instr.slot * WORD}")
+            self.emit(f"counts[{_LOADS}] += 1")
+            self.emit(f"counts[{_DC_READ}] += 1")
+            self.emit("if not _dca(_a):")
+            self.emit(f"    counts[{_DC_READ_MISS}] += 1")
+            self.emit(f"    counts[{_DC_MISS}] += 1")
+            self.emit(f"    counts[{_CYCLES}] += _rmc(_a)")
+            self.emit("    _nms(_a)")
+            self.emit(f"regs[{instr.dst}] = _mrd(_a, 0)")
+        elif kind == Kind.STORE or kind == Kind.FRAME_STORE:
+            # The store-buffer push reads CYCLES: flush pending costs
+            # (this store's fetch included) before the body runs.
+            self.flush_costs()
+            if kind == Kind.STORE:
+                value = self._operand(instr.src)
+                offset = f" + {instr.offset}" if instr.offset else ""
+                self.emit(f"_a = regs[{instr.base}]{offset}")
+            else:
+                value = f"regs[{instr.src}]"
+                self.emit(f"_a = frame.base_addr + {instr.slot * WORD}")
+            probe = "_dca(_a)" if self.write_allocate else "_dca(_a, False)"
+            self.emit(f"counts[{_STORES}] += 1")
+            self.emit(f"counts[{_DC_WRITE}] += 1")
+            self.emit(f"if not {probe}:")
+            self.emit(f"    counts[{_DC_WRITE_MISS}] += 1")
+            self.emit(f"    counts[{_DC_MISS}] += 1")
+            self.emit("    _nms(_a)")
+            self.emit("_sbp()")
+            self.emit(f"_mwr(_a, {value})")
+        elif kind == Kind.ALLOC:
+            self.emit(f"regs[{instr.dst}] = _halloc({self._operand(instr.size)})")
+        elif kind == Kind.PATH_RESET:
+            self.emit(f"regs[{instr.reg}] = 0")
+        elif kind == Kind.PATH_ADD:
+            self.emit(f"regs[{instr.reg}] += {_literal(instr.value)}")
+        elif kind == Kind.BR:
+            self.flush_costs()
+            self.sync_cell()
+            self._transfer(instr.target, indent=2)
+        elif kind == Kind.CBR:
+            self.flush_costs()
+            self.sync_cell()
+            mp = self.config.mispredict_penalty
+            self.emit(f"counts[{_BRANCHES}] += 1")
+            self.emit(f"if regs[{instr.cond}] != 0:")
+            self.emit(f"    counts[{_BR_TAKEN}] += 1")
+            self.emit(f"    if not _prd({addr}, True):")
+            self.emit(f"        counts[{_BR_MISPRED}] += 1")
+            self.emit(f"        counts[{_CYCLES}] += {mp}")
+            self._transfer(instr.then, indent=3)
+            self.emit("else:")
+            self.emit(f"    if not _prd({addr}, False):")
+            self.emit(f"        counts[{_BR_MISPRED}] += 1")
+            self.emit(f"        counts[{_CYCLES}] += {mp}")
+            self._transfer(instr.els, indent=3)
+        else:  # pragma: no cover - guarded by _INLINE_KINDS
+            raise AssertionError(f"{kind!r} is not an inline kind")
+
+    def _transfer(self, target: str, indent: int) -> None:
+        # Branch targets stay within the function, so the successor's
+        # decoded block is returned directly (resolved lazily through a
+        # per-site link cell) and the run loop skips the cache lookup.
+        n = self.alloc_link()
+        self.extras.append(("lk", n))
+        self.emit(f"frame.block_name = {target!r}", indent)
+        self.emit("frame.index = 0", indent)
+        self.emit("_t = machine.tracer", indent)
+        self.emit("if _t is not None:", indent)
+        self.emit(f"    _t.on_block({self.fname!r}, {target!r})", indent)
+        self.emit(f"return _lk{n}[0] or _rs(_lk{n}, {target!r})", indent)
+
+    def handler_call(self, handler_index: int, transfers: bool) -> None:
+        """Invoke a closure handler (it does its own fetch/cost work)."""
+        self.flush_costs()
+        self.sync_cell()
+        self.prev_iline = None  # handlers may transfer through other lines
+        self.extras.append(("h", handler_index))
+        if transfers:
+            self.emit(f"return _h{handler_index}(frame)")
+        else:
+            self.emit(f"_h{handler_index}(frame)")
+
+    def close(self) -> None:
+        self.flush_costs()
+        self.sync_cell()
+        self.emit("return False")
+
+
+#: Handler kinds that always transfer control when they return.
+_TRANSFER_HANDLERS = frozenset({Kind.CALL, Kind.ICALL, Kind.RET, Kind.LONGJMP})
+
+
+def _config_key(config) -> Tuple:
+    """The config constants baked into generated segment source."""
+    return (
+        config.icache_line,
+        config.icache_miss_penalty,
+        config.mispredict_penalty,
+        config.dcache_write_allocate,
+        tuple(sorted(config.fp_latencies.items())),
+    )
+
+
+def _generate_block(machine, function, block, instrs, addrs):
+    """Produce (source, code, segment starts) for one block.
+
+    Pure in everything but ``instrs``/``addrs`` and the few config
+    constants of :func:`_config_key`, so the result is cached on the
+    block and shared by every machine simulating the same program.
+    """
+    fname = function.name
+    line_bits = machine._icache_line_bits
+
+    segments: List[Tuple[int, _SegmentWriter]] = []
+    writer: Optional[_SegmentWriter] = None
+    seg_start = 0
+    seg_len = 0
+    n_links = 0
+
+    def alloc_link() -> int:
+        nonlocal n_links
+        n_links += 1
+        return n_links - 1
+
+    def begin(i: int) -> None:
+        nonlocal writer, seg_start, seg_len
+        writer = _SegmentWriter(machine, fname, alloc_link)
+        seg_start = i
+        seg_len = 0
+
+    def end() -> None:
+        nonlocal writer
+        if writer is not None:
+            segments.append((seg_start, writer))
+            writer = None
+
+    begin(0)
+    for i, instr in enumerate(instrs):
+        addr = addrs[i]
+        iline = addr >> line_bits
+        kind = instr.kind
+        if writer is None:
+            begin(i)
+        if kind in _INLINE_KINDS:
+            writer.inline(instr, addr, iline)
+            seg_len += 1
+            if kind == Kind.BR or kind == Kind.CBR:
+                end()
+            elif seg_len >= SEGMENT_CAP:
+                writer.close()
+                end()
+        else:
+            transfers = kind in _TRANSFER_HANDLERS
+            writer.handler_call(i, transfers)
+            seg_len += 1
+            if transfers or kind == Kind.SETJMP or seg_len >= SEGMENT_CAP:
+                # Calls and setjmp are resume points: the next
+                # instruction must start its own segment.
+                if not transfers:
+                    writer.close()
+                end()
+    if writer is not None:
+        writer.close()
+        end()
+
+    starts = [start for start, _w in segments]
+    seg_extras = [w.extras for _start, w in segments]
+
+    # Assemble one module with a maker per segment.
+    src_parts: List[str] = [f"# decoded {fname}.{block.name}"]
+    for j, (start, seg_writer) in enumerate(segments):
+        params = "".join(f", _{t}{i}" for t, i in seg_writer.extras)
+        src_parts.append(
+            f"def _make{j}(machine, counts, _il, _ica, _dca, _mrd, _mwr, _sbp, _nms, _rmc, _prd, _rs{params}):"
+        )
+        src_parts.append("    def _seg(frame):")
+        src_parts.append("        regs = frame.regs")
+        src_parts.extend(seg_writer.lines)
+        src_parts.append("    return _seg")
+    source = "\n".join(src_parts) + "\n"
+    code = compile(source, f"<decoded {fname}.{block.name}>", "exec")
+    return source, code, starts, seg_extras, n_links
+
+
+def decode_block(machine, function, block) -> DecodedBlock:
+    """Compile one block into its step list (called once per block).
+
+    The generated source and code object are cached on the block (they
+    depend only on the instruction list, the block's base address, and
+    :func:`_config_key` constants); only the per-machine binding — the
+    ``exec`` of segment makers plus the closure handlers — runs again
+    for each machine.
+    """
+    fname = function.name
+    instrs = block.instrs
+    addrs = machine.layout.block_addrs[(fname, block.name)]
+    counts = machine.counters.counts
+
+    cache_key = (
+        id(instrs),
+        len(instrs),
+        addrs[0] if addrs else 0,
+        _config_key(machine.config),
+    )
+    cached = block._decode_cache
+    if cached is not None and cached[0] == cache_key:
+        _key, source, code, starts, seg_extras, n_links = cached
+    else:
+        source, code, starts, seg_extras, n_links = _generate_block(
+            machine, function, block, instrs, addrs
+        )
+        block._decode_cache = (cache_key, source, code, starts, seg_extras, n_links)
+
+    line_bits = machine._icache_line_bits
+    handlers: Dict[int, Callable] = {}
+    total_icost = 0
+    for i, instr in enumerate(instrs):
+        total_icost += instr.icost
+        if instr.kind not in _INLINE_KINDS:
+            handlers[i] = _make_handler(
+                machine, counts, instr, addrs[i], addrs[i] >> line_bits, i + 1, fname
+            )
+
+    # Per-machine successor-link cells; registered so invalidation can
+    # reset them (a stale link would bypass the cache's validity check).
+    cells = [[None] for _ in range(n_links)]
+    machine._decode_links.extend(cells)
+
+    def resolve_link(cell, block_name, _function=function):
+        decoded = machine._decoded_block(_function, block_name)
+        cell[0] = decoded
+        return decoded
+
+    namespace = machine._codegen_namespace()
+    exec(code, namespace)
+
+    resume: Dict[int, int] = {}
+    steps: List[Callable] = []
+    for j, start in enumerate(starts):
+        maker = namespace[f"_make{j}"]
+        resume[start] = j
+        extras = [
+            handlers[i] if t == "h" else cells[i] for t, i in seg_extras[j]
+        ]
+        steps.append(
+            maker(
+                machine,
+                counts,
+                machine._iline,
+                machine.icache.access,
+                machine.dcache.access,
+                machine.memory._store.get,
+                machine.memory._store.__setitem__,
+                machine._store_buffer_push,
+                machine._note_miss,
+                machine._read_miss_cycles,
+                machine.predictor.predict_and_update,
+                resolve_link,
+                *extras,
+            )
+        )
+
+    return DecodedBlock(steps, resume, id(instrs), len(instrs), total_icost, source)
+
+
+# ---------------------------------------------------------------------------
+# Outer run loop
+# ---------------------------------------------------------------------------
+
+
+def execute(machine):
+    """Run ``machine`` to completion with the predecoded engine.
+
+    Entry frames must already be pushed onto ``machine._frames`` (done
+    by :meth:`Machine.run`).  Returns the program's return value.
+    """
+    from repro.machine.vm import MachineError
+
+    machine._validate_decoded()
+    counts = machine.counters.counts
+    frames = machine._frames
+    max_instructions = machine.config.max_instructions
+    decoded_cache = machine._decoded
+    signal_active = machine._signal_handler is not None
+    INSTRS = _INSTRS
+
+    while frames:
+        if (
+            signal_active
+            and counts[INSTRS] >= machine._next_signal_at
+            and machine._signal_depth == 0
+        ):
+            machine._deliver_signal()
+        frame = frames[-1]
+        function = frame.function
+        decoded = decoded_cache.get((function.name, frame.block_name))
+        if decoded is None:
+            decoded = machine._decoded_block(function, frame.block_name)
+        index = frame.index
+        k = 0 if index == 0 else decoded.resume[index]
+        steps = decoded.steps
+        nsteps = decoded.nsteps
+        while True:
+            if counts[INSTRS] > max_instructions:
+                raise MachineError(f"instruction budget exceeded ({max_instructions})")
+            r = steps[k](frame)
+            if r is True:
+                # Call, return, or longjmp: the top frame (and with it
+                # the current function) may have changed — full lookup.
+                break
+            if r is False:
+                # Segment fell through to the next (cap split / setjmp
+                # resume point); a block's last segment always transfers.
+                k += 1
+                if k >= nsteps:
+                    raise MachineError(
+                        f"{function.name}.{frame.block_name}: fell through block end"
+                    )
+                continue
+            # Branch within the same frame: r is the successor's
+            # decoded block, delivered through the transfer's link cell.
+            decoded = r
+            steps = decoded.steps
+            nsteps = decoded.nsteps
+            k = 0
+            if (
+                signal_active
+                and counts[INSTRS] >= machine._next_signal_at
+                and machine._signal_depth == 0
+            ):
+                machine._deliver_signal()
+                break
+
+    return machine._return_value
+
+
+#: Names available to generated segment code (stable across blocks; the
+#: machine builds one namespace and all decoded segments share it).
+CODEGEN_GLOBALS = {
+    "_idiv": _int_div,
+    "_imod": _int_mod,
+    "_fdiv": FLOAT_OPS["fdiv"],
+    "min": min,
+    "max": max,
+}

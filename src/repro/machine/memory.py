@@ -45,6 +45,11 @@ class MemoryMap:
         self.cct = Region("cct", 0x2000_0000, 0x1000_0000)
         self._store: Dict[int, Union[int, float]] = {}
         self._heap_next = self.heap.base
+        #: (base, limit, name) triples for the hot region_of scan.
+        self._region_bounds = [
+            (r.base, r.limit, r.name)
+            for r in (self.globals, self.heap, self.stack, self.profiling, self.cct)
+        ]
 
     # -- data ------------------------------------------------------------------
 
@@ -81,7 +86,7 @@ class MemoryMap:
         return self.globals.base + word_index * WORD
 
     def region_of(self, address: int) -> str:
-        for region in (self.globals, self.heap, self.stack, self.profiling, self.cct):
-            if region.contains(address):
-                return region.name
+        for base, limit, name in self._region_bounds:
+            if base <= address < limit:
+                return name
         return "unmapped"

@@ -20,7 +20,8 @@ Cost model (deliberately simple and deterministic):
 
 from __future__ import annotations
 
-from collections import deque
+import os
+from collections import defaultdict, deque
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.ir.function import Function, Program
@@ -87,6 +88,8 @@ class RunResult:
         self.machine = machine
         self.return_value = return_value
         self.counters: Dict[Event, int] = machine.counters.snapshot()
+        #: Per-region D-cache misses, frozen to a plain dict.
+        self.region_misses: Dict[str, int] = dict(machine.region_misses)
 
     @property
     def instructions(self) -> int:
@@ -115,6 +118,7 @@ class Machine:
         config: Optional[MachineConfig] = None,
         pic0_event: Event = Event.INSTRS,
         pic1_event: Event = Event.DC_MISS,
+        engine: Optional[str] = None,
     ):
         self.program = program
         self.config = config or MachineConfig()
@@ -123,8 +127,14 @@ class Machine:
         self.counters = CounterBank()
         self.pic = PicRegisters(self.counters, pic0_event, pic1_event)
         cfg = self.config
-        self.dcache = DirectMappedCache(cfg.dcache_size, cfg.dcache_line)
-        if cfg.dcache_assoc != 1:
+        #: Which execution engine :meth:`run` uses by default: "fast"
+        #: (the predecoded engine of :mod:`repro.machine.engine`) or
+        #: "simple" (the reference if/elif interpreter).  Overridable
+        #: per run, per machine, or globally via ``REPRO_ENGINE``.
+        self.engine = engine or os.environ.get("REPRO_ENGINE", "fast")
+        if cfg.dcache_assoc == 1:
+            self.dcache = DirectMappedCache(cfg.dcache_size, cfg.dcache_line)
+        else:
             self.dcache = SetAssociativeCache(
                 cfg.dcache_size, cfg.dcache_line, cfg.dcache_assoc
             )
@@ -137,7 +147,9 @@ class Machine:
         self.predictor = TwoBitPredictor(cfg.predictor_entries)
         self._store_buffer: deque = deque()
         self._icache_line_bits = cfg.icache_line.bit_length() - 1
-        self._last_iline = -1
+        #: Last fetched I-cache line, in a one-slot list so decoded
+        #: closures and generated code can share the state cheaply.
+        self._iline: List[int] = [-1]
 
         # Attached instrumentation runtimes (set by repro.instrument /
         # repro.cct before run() when the program is instrumented).
@@ -148,7 +160,8 @@ class Machine:
         #: missing address: quantifies how much of the miss traffic the
         #: instrumentation's own data (profiling tables, CCT heap,
         #: frame spills) contributes — the §3.2 pollution, measured.
-        self.region_misses: Dict[str, int] = {}
+        #: (A defaultdict for the hot path; snapshots freeze plain dicts.)
+        self.region_misses: Dict[str, int] = defaultdict(int)
 
         #: Optional tracer with on_enter/on_exit/on_block callbacks;
         #: used by the ground-truth oracle profiler in tests.
@@ -172,14 +185,24 @@ class Machine:
 
         self.layout = assign_layout(program)
 
+        #: Call stack, shared with the execution engines (a persistent
+        #: list so decoded closures can bind its identity once).
+        self._frames: List[Frame] = []
+        self._return_value: Union[int, float, None] = None
+        #: (function, block) -> DecodedBlock cache for the fast engine.
+        self._decoded: Dict[Tuple[str, str], object] = {}
+        #: Successor-link cells baked into decoded transfers; reset on
+        #: any invalidation so no stale decoded block survives a splice.
+        self._decode_links: List[list] = []
+        self._codegen_ns: Optional[dict] = None
+
     # ------------------------------------------------------------------
     # Memory traffic helpers (shared by program loads/stores and the
     # instrumentation runtimes).
     # ------------------------------------------------------------------
 
     def _note_miss(self, address: int) -> None:
-        region = self.memory.region_of(address)
-        self.region_misses[region] = self.region_misses.get(region, 0) + 1
+        self.region_misses[self.memory.region_of(address)] += 1
 
     def _read_miss_cycles(self, address: int) -> int:
         """Cycles an L1 read miss costs: L2 hit or full memory trip."""
@@ -255,7 +278,15 @@ class Machine:
     # Execution
     # ------------------------------------------------------------------
 
-    def run(self, *args: Union[int, float]) -> RunResult:
+    def run(self, *args: Union[int, float], engine: Optional[str] = None) -> RunResult:
+        """Execute the program; ``engine`` overrides the machine default.
+
+        ``engine="fast"`` uses the predecoded block engine
+        (:mod:`repro.machine.engine`, the default); ``engine="simple"``
+        uses the reference if/elif interpreter.  Both produce
+        bit-identical counters (the differential tests enforce it).
+        """
+        engine_name = engine or self.engine
         program = self.program
         entry = program.functions.get(program.entry)
         if entry is None:
@@ -264,26 +295,141 @@ class Machine:
             raise MachineError(
                 f"{program.entry} takes {entry.num_params} args, got {len(args)}"
             )
-        frames: List[Frame] = []
+        frames = self._frames
+        frames.clear()
         frame = Frame(entry, self.memory.frame_base(0, self.config.frame_words), None)
         for i, value in enumerate(args):
             frame.regs[i] = value
         frames.append(frame)
         self.depth = 1
+        self._return_value = None
 
         tracer = self.tracer
         if tracer is not None:
             tracer.on_enter(entry.name, -1)
             tracer.on_block(entry.name, frame.block_name)
 
+        if engine_name == "fast":
+            from repro.machine.engine import execute
+
+            return RunResult(self, execute(self))
+        if engine_name == "simple":
+            return RunResult(self, self._run_simple())
+        raise MachineError(f"unknown engine {engine_name!r}")
+
+    # -- engine plumbing ----------------------------------------------------
+
+    def _deliver_signal(self) -> None:
+        """Push a signal-handler frame (both engines call this at block
+        boundaries when the period has elapsed and signals are unmasked)."""
+        counts = self.counters.counts
+        frames = self._frames
+        self._next_signal_at = counts[_INSTRS] + self._signal_period
+        self.signals_delivered += 1
+        self._signal_depth += 1
+        handler = self.program.functions[self._signal_handler]
+        signal_frame = Frame(
+            handler,
+            self.memory.frame_base(len(frames), self.config.frame_words),
+            None,
+        )
+        signal_frame.is_signal = True
+        if handler.num_params == 1:
+            signal_frame.regs[0] = self.signals_delivered
+        frames.append(signal_frame)
+        self.depth = len(frames)
+        if self.cct_runtime is not None:
+            self.cct_runtime.on_signal_delivery(self, handler.name)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_enter(handler.name, -2)
+            tracer.on_block(handler.name, signal_frame.block_name)
+
+    def _codegen_namespace(self) -> dict:
+        """Globals shared by all generated segment code on this machine."""
+        if self._codegen_ns is None:
+            from repro.machine.engine import CODEGEN_GLOBALS
+
+            self._codegen_ns = dict(CODEGEN_GLOBALS)
+            self._codegen_ns["_halloc"] = self.memory.heap_alloc
+        return self._codegen_ns
+
+    def _validate_decoded(self) -> None:
+        """Evict decoded blocks whose instruction lists changed.
+
+        Called once per run by the fast engine; programs cannot be
+        edited mid-run, so the per-run sweep is enough for the hot
+        loop's cache hits to skip validation entirely.
+        """
+        stale = []
+        functions = self.program.functions
+        for key, decoded in self._decoded.items():
+            fname, bname = key
+            function = functions.get(fname)
+            block = function.block(bname) if function is not None else None
+            if (
+                block is None
+                or decoded.instrs_id != id(block.instrs)
+                or decoded.n_instrs != len(block.instrs)
+            ):
+                stale.append(key)
+        for key in stale:
+            del self._decoded[key]
+        if stale:
+            for cell in self._decode_links:
+                cell[0] = None
+
+    def _decoded_block(self, function: Function, block_name: str):
+        """Fetch (or build) the decoded form of one block.
+
+        Cached by ``(function, block)`` and validated against the
+        instruction list's identity and length, so splices that replace
+        or grow ``block.instrs`` re-decode automatically.
+        """
+        key = (function.name, block_name)
+        block = function.block(block_name)
+        instrs = block.instrs
+        decoded = self._decoded.get(key)
+        if (
+            decoded is not None
+            and decoded.instrs_id == id(instrs)
+            and decoded.n_instrs == len(instrs)
+        ):
+            return decoded
+        from repro.machine.engine import decode_block
+
+        decoded = decode_block(self, function, block)
+        self._decoded[key] = decoded
+        return decoded
+
+    def invalidate_decoded(self) -> None:
+        """Drop all decoded blocks and recompute the code layout.
+
+        Call after editing the program underneath a live machine (the
+        supported flow — instrument first, then build the machine —
+        never needs this; the per-block identity check catches ordinary
+        :mod:`repro.edit` splices anyway).
+        """
+        from repro.edit.layout import assign_layout
+
+        self._decoded.clear()
+        for cell in self._decode_links:
+            cell[0] = None
+        self._decode_links.clear()
+        self.layout = assign_layout(self.program)
+
+    def _run_simple(self) -> Union[int, float, None]:
+        frames = self._frames
         counts = self.counters.counts
         config = self.config
         memory = self.memory
         dcache = self.dcache
-        functions = program.functions
+        functions = self.program.functions
         addrs_of = self.layout.block_addrs
         line_bits = self._icache_line_bits
+        iline_cell = self._iline
         max_instructions = config.max_instructions
+        tracer = self.tracer
         return_value: Union[int, float, None] = None
 
         while frames:
@@ -292,25 +438,7 @@ class Machine:
                 and counts[_INSTRS] >= self._next_signal_at
                 and self._signal_depth == 0
             ):
-                self._next_signal_at = counts[_INSTRS] + self._signal_period
-                self.signals_delivered += 1
-                self._signal_depth += 1
-                handler = functions[self._signal_handler]
-                signal_frame = Frame(
-                    handler,
-                    self.memory.frame_base(len(frames), config.frame_words),
-                    None,
-                )
-                signal_frame.is_signal = True
-                if handler.num_params == 1:
-                    signal_frame.regs[0] = self.signals_delivered
-                frames.append(signal_frame)
-                self.depth = len(frames)
-                if self.cct_runtime is not None:
-                    self.cct_runtime.on_signal_delivery(self, handler.name)
-                if tracer is not None:
-                    tracer.on_enter(handler.name, -2)
-                    tracer.on_block(handler.name, signal_frame.block_name)
+                self._deliver_signal()
 
             frame = frames[-1]
             function = frame.function
@@ -334,13 +462,17 @@ class Machine:
                 # --- fetch ---
                 counts[_IC_REF] += 1
                 iline = address >> line_bits
-                if iline != self._last_iline:
-                    self._last_iline = iline
+                if iline != iline_cell[0]:
+                    iline_cell[0] = iline
                     if not self.icache.access(address):
                         counts[_IC_MISS] += 1
                         counts[_CYCLES] += config.icache_miss_penalty
                 counts[_INSTRS] += instr.icost
                 counts[_CYCLES] += instr.icost
+                if counts[_INSTRS] > max_instructions:
+                    raise MachineError(
+                        f"instruction budget exceeded ({max_instructions})"
+                    )
 
                 if kind == Kind.BINOP:
                     regs = frame.regs
@@ -571,7 +703,7 @@ class Machine:
                     f"{fname}.{frame.block_name}: fell through block end"
                 )
 
-        return RunResult(self, return_value)
+        return return_value
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,59 @@
+"""Parallel fan-out for independent whole-workload simulations.
+
+Every table experiment is an embarrassingly parallel loop — one
+simulated machine per workload, no shared state — so the suite can fan
+out across processes.  Opt in with ``REPRO_BENCH_JOBS=N`` (or an
+explicit ``jobs=`` argument); unset, ``0``, or ``1`` degrades to a
+plain serial loop with zero multiprocessing involvement, so the default
+behaviour (and any environment without working ``fork``) is unchanged.
+
+Workers must be module-level callables (picklable) taking one item from
+the work list; results come back in input order.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def bench_jobs(default: int = 0) -> int:
+    """Parallelism requested via ``REPRO_BENCH_JOBS`` (0 means serial)."""
+    raw = os.environ.get("REPRO_BENCH_JOBS", "").strip()
+    if not raw:
+        return default
+    try:
+        jobs = int(raw)
+    except ValueError:
+        return default
+    return max(jobs, 0)
+
+
+def run_tasks(
+    worker: Callable[[T], R],
+    items: Sequence[T],
+    jobs: Optional[int] = None,
+) -> List[R]:
+    """Map ``worker`` over ``items``, optionally across processes.
+
+    ``jobs=None`` reads :func:`bench_jobs`; ``jobs <= 1`` (or fewer
+    than two items) runs serially in-process.  Parallel runs use a
+    fork-based pool so programs/configs reach workers without pickling
+    the simulator state; results preserve input order, and worker
+    exceptions propagate to the caller.
+    """
+    items = list(items)
+    if jobs is None:
+        jobs = bench_jobs()
+    if jobs <= 1 or len(items) < 2:
+        return [worker(item) for item in items]
+
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    jobs = min(jobs, len(items))
+    with ctx.Pool(processes=jobs) as pool:
+        return pool.map(worker, items)

@@ -76,11 +76,15 @@ class PP:
         pic0_event: Event = Event.INSTRS,
         pic1_event: Event = Event.DC_MISS,
         placement: str = "spanning_tree",
+        engine: Optional[str] = None,
     ):
         self.config = config or MachineConfig()
         self.pic0_event = pic0_event
         self.pic1_event = pic1_event
         self.placement = placement
+        #: Execution engine for every machine this profiler creates
+        #: (None defers to the Machine default / ``REPRO_ENGINE``).
+        self.engine = engine
 
     # -- runs ------------------------------------------------------------------
 
@@ -90,6 +94,7 @@ class PP:
             copy.deepcopy(self.config),
             pic0_event=self.pic0_event,
             pic1_event=self.pic1_event,
+            engine=self.engine,
         )
 
     def baseline(self, program: Program, args: Sequence = ()) -> ProfileRun:

@@ -437,6 +437,26 @@ class TestCostModel:
         with pytest.raises(MachineError, match="budget"):
             Machine(program, config).run()
 
+    @pytest.mark.parametrize("engine", ["simple", "fast"])
+    def test_budget_overshoot_bounded_in_huge_block(self, engine):
+        # A single straight-line block far larger than the budget: the
+        # run must still fail, and the overshoot past the budget must
+        # stay bounded (per-instruction for the simple engine, at most
+        # one codegen segment for the fast engine) rather than letting
+        # the whole block retire before the check fires.
+        from repro.machine.engine import SEGMENT_CAP
+
+        body = "\n".join("add r0, r0, 1" for _ in range(2000))
+        program = parse_program(
+            f"func main(0) regs=4 {{\nentry:\n const r0, 0\n{body}\n ret r0\n}}"
+        )
+        config = MachineConfig(max_instructions=100)
+        machine = Machine(program, config, engine=engine)
+        with pytest.raises(MachineError, match="budget"):
+            machine.run()
+        overshoot = machine.counters[Event.INSTRS] - config.max_instructions
+        assert 0 <= overshoot <= SEGMENT_CAP
+
     def test_alloc(self):
         result, _ = run(
             """
@@ -468,3 +488,47 @@ class TestDeterminism:
         second = Machine(compile_corpus(corpus_name)).run()
         assert first.counters == second.counters
         assert first.return_value == second.return_value
+
+
+class TestEngineDispatch:
+    ASM = """
+        func main(0) regs=4 {
+        entry:
+            const r0, 0
+            const r1, 10
+            br spin
+        spin:
+            add r0, r0, 1
+            sub r1, r1, 1
+            cbr r1, spin, done
+        done:
+            ret r0
+        }
+        """
+
+    def test_engines_match_on_small_program(self):
+        simple = Machine(parse_program(self.ASM), engine="simple").run()
+        fast = Machine(parse_program(self.ASM), engine="fast").run()
+        assert simple.counters == fast.counters
+        assert simple.return_value == fast.return_value == 10
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(MachineError, match="unknown engine"):
+            Machine(parse_program(self.ASM), engine="turbo").run()
+
+    def test_run_survives_block_splicing(self):
+        # Editing a block between runs must evict its cached decoding:
+        # the second run has to see the spliced instructions, not the
+        # stale predecoded segments from the first run.
+        program = parse_program(self.ASM)
+        machine = Machine(program, engine="fast")
+        first = machine.run()
+        assert first.return_value == 10
+
+        from repro.ir.instructions import Const
+
+        done = program.functions["main"].block("done")
+        done.instrs.insert(0, Const(0, 99))
+        machine.invalidate_decoded()
+        second = machine.run()
+        assert second.return_value == 99
