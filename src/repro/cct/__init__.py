@@ -11,6 +11,10 @@
   of Figure 4, plus the DCT->CCT projection that *defines* the CCT (the
   vertex equivalence relation, including the recursion refinement of
   Figure 5); tests check the on-line construction against it.
+* :mod:`repro.cct.merge` — structural merging of CCTs from
+  independent runs or shards: lockstep record walk, backedge and
+  callee-list unification, metric and path-table summing, canonical
+  re-layout, plus the merge-algebra equality helpers.
 * :mod:`repro.cct.stats` — the Table 3 statistics.
 * :mod:`repro.cct.gprof` — the gprof-style attribution the paper
   criticizes, and Ponder–Fateman caller/callee pairs (§7.1), used to
@@ -31,9 +35,25 @@ from repro.cct.stats import cct_statistics, CCTStatistics
 from repro.cct.gprof import GprofProfile, PairProfile, gprof_attribution, pair_attribution
 from repro.cct.serialize import load_cct, save_cct
 from repro.cct.dag import CompactedDag, compact_dag, dag_statistics
+from repro.cct.merge import (
+    MergedCCT,
+    MergeError,
+    canonical_form,
+    cct_equivalent,
+    empty_cct,
+    merge_ccts,
+    strict_form,
+)
 
 __all__ = [
     "CCTRuntime",
+    "MergeError",
+    "MergedCCT",
+    "canonical_form",
+    "cct_equivalent",
+    "empty_cct",
+    "merge_ccts",
+    "strict_form",
     "CompactedDag",
     "compact_dag",
     "dag_statistics",

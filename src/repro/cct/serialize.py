@@ -14,7 +14,6 @@ import json
 from typing import Dict, List
 
 from repro.cct.records import CalleeList, CallRecord, ListNode
-from repro.cct.runtime import CCTRuntime
 from repro.instrument.tables import CounterTable, TableKind
 
 
@@ -22,7 +21,13 @@ def _slot_json(slot, index_of: Dict[int, int]):
     if slot is None:
         return None
     if isinstance(slot, CalleeList):
-        return {"list": [index_of[id(node.record)] for node in slot.nodes]}
+        # Each list cell is (callee index, cell heap address): the
+        # address is live structure — dropping it would silently
+        # zero the indirect-call list state on a round trip.
+        return {
+            "list": [index_of[id(node.record)] for node in slot.nodes],
+            "addrs": [node.addr for node in slot.nodes],
+        }
     return {"record": index_of[id(slot)]}
 
 
@@ -33,13 +38,21 @@ def _table_json(table: CounterTable) -> dict:
         "metric_slots": table.metric_slots,
         "kind": table.kind.value,
         "buckets": table.buckets,
+        "base": table.base,
+        "out_of_range": table.out_of_range,
         "counts": {str(k): v for k, v in table.counts.items()},
         "metrics": {str(k): v for k, v in table.metrics.items()},
     }
 
 
-def save_cct(runtime: CCTRuntime, path: str) -> None:
-    """Write the CCT (records, metrics, path tables) to ``path``."""
+def save_cct(runtime, path: str) -> None:
+    """Write the CCT (records, metrics, path tables) to ``path``.
+
+    ``runtime`` is anything with ``records``, ``root``, and
+    ``heap_bytes()`` — a live :class:`CCTRuntime`, a reloaded
+    :class:`LoadedCCT`, or a :class:`~repro.cct.merge.MergedCCT`
+    aggregate (which is how shard workers ship their merged trees).
+    """
     index_of = {id(record): i for i, record in enumerate(runtime.records)}
     records = []
     for record in runtime.records:
@@ -102,14 +115,17 @@ def load_cct(path: str) -> LoadedCCT:
                 record.slots[index] = records[slot["record"]]
             else:
                 lst = CalleeList()
-                for child_index in slot["list"]:
-                    lst.nodes.append(ListNode(records[child_index], 0))
+                # "addrs" is absent in files written before cell
+                # addresses were persisted; such cells load as 0.
+                addrs = slot.get("addrs") or [0] * len(slot["list"])
+                for child_index, addr in zip(slot["list"], addrs):
+                    lst.nodes.append(ListNode(records[child_index], addr))
                 record.slots[index] = lst
         for name, raw_table in raw["path_tables"].items():
             table = CounterTable(
                 raw_table["name"],
                 -1,
-                0,
+                raw_table.get("base", 0),
                 raw_table["capacity"],
                 raw_table["metric_slots"],
                 TableKind(raw_table["kind"]),
@@ -117,5 +133,6 @@ def load_cct(path: str) -> LoadedCCT:
             )
             table.counts = {int(k): v for k, v in raw_table["counts"].items()}
             table.metrics = {int(k): list(v) for k, v in raw_table["metrics"].items()}
+            table.out_of_range = raw_table.get("out_of_range", 0)
             record.path_tables[name] = table
     return LoadedCCT(records[payload["root"]], records, payload["heap_bytes"])

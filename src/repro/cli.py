@@ -7,7 +7,10 @@ Commands:
 * ``context FILE`` — context-sensitive profile: the CCT with metrics;
 * ``combined FILE`` — flow+context; optionally save the CCT;
 * ``coverage FILE`` — path coverage with untested paths;
-* ``table N`` — regenerate one of the paper's tables over the suite.
+* ``shard-run FILE`` — split an input set across forked workers and
+  merge the per-shard profiles into one aggregate;
+* ``table N`` — regenerate one of the paper's tables over the suite
+  (Table 3 optionally through the sharded driver).
 
 ``FILE`` ending in ``.asm`` is parsed as IR assembly; anything else is
 compiled as mini-language source.  Program arguments are integers
@@ -248,6 +251,98 @@ def cmd_optimize(args) -> int:
     return 0
 
 
+_SHARD_MODES = {
+    "combined": "context_flow",
+    "context": "context_hw",
+    "flow": "flow_hw",
+}
+
+
+def _parse_input_sets(raw: str) -> list:
+    """``"1,2;3,4;5"`` -> ``[(1, 2), (3, 4), (5,)]`` (``;`` separates runs)."""
+    inputs = []
+    for chunk in raw.split(";"):
+        chunk = chunk.strip()
+        inputs.append(
+            tuple(int(v) for v in chunk.replace(",", " ").split()) if chunk else ()
+        )
+    return inputs
+
+
+def cmd_shard_run(args) -> int:
+    from repro.cct.stats import cct_statistics
+    from repro.profiles.hotpaths import classify_paths
+    from repro.tools.shard_runner import ShardSpec, shard_run
+
+    with open(args.file) as handle:
+        text = handle.read()
+    inputs = (
+        _parse_input_sets(args.inputs)
+        if args.inputs is not None
+        else [tuple(_int_args(args.args))]
+    )
+    spec = ShardSpec(
+        source=None if args.file.endswith(".asm") else text,
+        asm=text if args.file.endswith(".asm") else None,
+        inputs=inputs,
+        mode=_SHARD_MODES[args.mode],
+    )
+    outcome = shard_run(spec, args.shards, workdir=args.keep)
+    print(
+        f"{len(inputs)} inputs over {args.shards} shards "
+        f"({args.mode}); results: {outcome.return_values}"
+    )
+    rows = [
+        {"Event": event.name, "Count": count}
+        for event, count in outcome.counters.items()
+        if count
+    ]
+    print(format_table(rows, title="merged hardware events"))
+    if outcome.cct is not None:
+        stats = cct_statistics(outcome.cct)
+        print(
+            f"\nmerged CCT: {stats.nodes} records, height {stats.height_max}, "
+            f"{stats.size_bytes} bytes, max replication {stats.max_replication}"
+        )
+        contexts = [
+            {
+                "Context": " -> ".join(record.context()[1:]),
+                "Calls": record.metrics[0],
+                "PIC0": record.metrics[1],
+                "PIC1": record.metrics[2],
+            }
+            for record in outcome.cct.records
+            if record is not outcome.cct.root
+        ]
+        contexts.sort(key=lambda r: (-r["Calls"], r["Context"]))
+        print(format_table(contexts[: args.limit], title="hottest contexts"))
+    if outcome.path_profile is not None:
+        report = classify_paths(outcome.path_profile)
+        ranked = sorted(
+            report.classified,
+            key=lambda c: (-c.entry.misses, -c.entry.freq, c.entry.function),
+        )
+        rows = [
+            {
+                "Function": c.entry.function,
+                "Path": c.entry.path_sum,
+                "Freq": c.entry.freq,
+                "Misses": c.entry.misses,
+                "Class": c.klass.value,
+            }
+            for c in ranked[: args.limit]
+        ]
+        print(
+            format_table(
+                rows,
+                title=f"merged paths ({report.hot.num} hot of {report.total_paths})",
+            )
+        )
+    if args.keep:
+        print(f"shard CCT dumps kept under {args.keep}")
+    return 0
+
+
 def cmd_table(args) -> int:
     from repro import experiments
 
@@ -260,7 +355,15 @@ def cmd_table(args) -> int:
     }
     driver, title = drivers[args.number]
     names = args.workloads or None
-    rows = driver(names, args.scale)
+    if args.number == "3" and (args.shards or args.runs > 1):
+        rows = driver(
+            names, args.scale, shards=max(args.shards, 1), runs=args.runs
+        )
+        title += f" (sharded x{max(args.shards, 1)}, runs={args.runs})"
+    elif args.shards or args.runs > 1:
+        raise SystemExit("--shards/--runs only apply to table 3")
+    else:
+        rows = driver(names, args.scale)
     print(format_table(rows, title=f"{title} (scale={args.scale})"))
     return 0
 
@@ -304,6 +407,27 @@ def build_parser() -> argparse.ArgumentParser:
         "optimize", cmd_optimize, "apply path-guided optimizations"
     )
 
+    shard = sub.add_parser(
+        "shard-run",
+        help="split an input set across forked workers, merge the profiles",
+    )
+    shard.add_argument("file", help="mini-language source or .asm file")
+    shard.add_argument("args", nargs="*", help="single input: args to main")
+    shard.add_argument("--shards", type=int, default=2, help="worker count")
+    shard.add_argument(
+        "--inputs",
+        help="input set: runs separated by ';', args by ',' (e.g. '1,2;3,4')",
+    )
+    shard.add_argument(
+        "--mode",
+        choices=sorted(_SHARD_MODES),
+        default="combined",
+        help="profiling configuration to run and merge",
+    )
+    shard.add_argument("--limit", type=int, default=25, help="max rows printed")
+    shard.add_argument("--keep", help="directory to keep per-shard CCT dumps")
+    shard.set_defaults(fn=cmd_shard_run)
+
     diff = sub.add_parser(
         "diff", help="path-spectrum diff of two inputs ([RBDL97])"
     )
@@ -316,6 +440,18 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("number", choices=["1", "2", "3", "4", "5"])
     table.add_argument("--scale", type=float, default=0.5)
     table.add_argument("--workloads", nargs="*", help="subset of the suite")
+    table.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="table 3 only: aggregate each workload through the sharded driver",
+    )
+    table.add_argument(
+        "--runs",
+        type=int,
+        default=1,
+        help="table 3 only: repetitions per workload in the sharded input set",
+    )
     table.set_defaults(fn=cmd_table)
     return parser
 

@@ -10,6 +10,15 @@ where flow+context equals full interprocedural path profiling, §6.3).
 Published shape: CCTs are *bushy, not tall* (height far below node
 count), total size modest for most programs, and vortex-like call-layer
 programs produce by far the largest trees.
+
+With ``shards > 0`` each workload's statistics come from the sharded
+driver instead of one monolithic run: an input set of ``runs``
+repetitions is split across forked workers, the per-shard CCT dumps
+are merged, and the table is computed on the aggregate — exercising
+the :mod:`repro.cct.merge` layer end to end.  Structure columns (node
+count, height, replication, sites) match the single-run table for
+deterministic workloads; metric-bearing aggregates scale with
+``runs``, and ``Size`` reports the canonical aggregate layout.
 """
 
 from __future__ import annotations
@@ -36,12 +45,38 @@ def _workload_row(task) -> Dict[str, object]:
     return row
 
 
+def _sharded_workload_row(
+    name: str, scale: float, shards: int, runs: int
+) -> Dict[str, object]:
+    from repro.tools.shard_runner import flow_template, shard_run, spec_for_workload
+
+    spec = spec_for_workload(name, scale, runs=runs, mode="context_flow")
+    outcome = shard_run(spec, shards)
+    template = flow_template(spec)
+    statistics = cct_statistics(
+        outcome.cct,
+        program=template.program,
+        flow_functions=template.functions,
+    )
+    row: Dict[str, object] = {"Benchmark": name}
+    row.update(statistics.row())
+    return row
+
+
 def cct_stats_experiment(
     names: Optional[Sequence[str]] = None,
     scale: float = 1.0,
     pp: Optional[PP] = None,
     jobs: Optional[int] = None,
+    shards: int = 0,
+    runs: int = 1,
 ) -> List[Dict[str, object]]:
-    pp = pp or PP()
     names = list(names) if names is not None else list(SPEC95)
+    if shards:
+        # The fan-out happens inside each workload's shard_run; the
+        # workload loop stays serial so the two pools don't nest.
+        return [
+            _sharded_workload_row(name, scale, shards, runs) for name in names
+        ]
+    pp = pp or PP()
     return run_tasks(_workload_row, [(pp, name, scale) for name in names], jobs=jobs)

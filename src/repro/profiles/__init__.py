@@ -10,6 +10,8 @@
 * :mod:`repro.profiles.perturbation` — Table 2: instrumented vs.
   uninstrumented metric ratios, plus the frequency-based correction the
   paper sketches for predictable metrics.
+* :mod:`repro.profiles.merge` — pointwise merging of flat path/edge
+  profiles from independent runs or shards.
 * :mod:`repro.profiles.oracle` — a tracing ground-truth profiler: path
   frequencies derived from the block trace, independent of the
   instrumentation, used to validate it.
@@ -32,6 +34,13 @@ from repro.profiles.perturbation import (
     PERTURBATION_EVENTS,
     estimate_instrumentation_instructions,
     perturbation_ratios,
+)
+from repro.profiles.merge import (
+    ProfileMergeError,
+    merge_counts,
+    merge_edge_profiles,
+    merge_metric_maps,
+    merge_path_profiles,
 )
 from repro.profiles.oracle import PathOracle
 from repro.profiles.sampling import StackSampler
@@ -62,10 +71,15 @@ __all__ = [
     "PathOracle",
     "PathProfile",
     "ProcEntry",
+    "ProfileMergeError",
     "classify_paths",
     "classify_procedures",
     "collect_path_profile",
     "estimate_instrumentation_instructions",
+    "merge_counts",
+    "merge_edge_profiles",
+    "merge_metric_maps",
+    "merge_path_profiles",
     "paths_per_hot_block",
     "perturbation_ratios",
 ]

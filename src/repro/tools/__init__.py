@@ -1,5 +1,21 @@
-"""End-to-end drivers: the PP tool."""
+"""End-to-end drivers: the PP tool and the sharded-run driver."""
 
 from repro.tools.pp import PP, ProfileRun, clone_program
+from repro.tools.shard_runner import (
+    ShardOutcome,
+    ShardSpec,
+    serial_run,
+    shard_run,
+    spec_for_workload,
+)
 
-__all__ = ["PP", "ProfileRun", "clone_program"]
+__all__ = [
+    "PP",
+    "ProfileRun",
+    "ShardOutcome",
+    "ShardSpec",
+    "clone_program",
+    "serial_run",
+    "shard_run",
+    "spec_for_workload",
+]

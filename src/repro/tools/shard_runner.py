@@ -1,0 +1,334 @@
+"""Sharded profiling: split a workload's input set across workers.
+
+Scaling the reproduction past one process per workload means running
+shards of an input set concurrently and *aggregating* their profiles —
+the same problem PGO systems solve when combining per-process
+hardware-counter dumps.  The driver here:
+
+1. splits the input set round-robin across ``shards`` workers;
+2. each worker (a forked process via
+   :func:`repro.tools.bench_runner.run_tasks`) runs its inputs
+   serially, merges the per-run CCTs with
+   :func:`repro.cct.merge.merge_ccts`, and serializes the shard's
+   aggregate with :func:`repro.cct.serialize.save_cct`;
+3. the parent reloads the shard dumps and merges them into one
+   aggregate CCT / path profile and one summed hardware-counter bank.
+
+Because the merge is commutative and associative with the empty CCT
+as identity (see :mod:`repro.cct.merge`), the aggregate is identical
+for every shard count — including ``shards=1`` — and identical to
+:func:`serial_run`, the in-process reference that never forks or
+touches disk.  ``tests/test_shard_runner.py`` pins this for
+``N ∈ {1, 2, 4}`` across statistics, hot paths, and all sixteen
+counters.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cct.merge import MergedCCT, merge_ccts
+from repro.cct.serialize import load_cct, save_cct
+from repro.machine.counters import NUM_EVENTS, Event
+from repro.machine.memory import MemoryMap
+from repro.profiles.merge import merge_counts, merge_metric_maps
+from repro.profiles.pathprofile import (
+    FunctionPathProfile,
+    PathProfile,
+    collect_path_profile,
+)
+from repro.tools.bench_runner import run_tasks
+from repro.tools.pp import PP, clone_program
+
+#: Profiling configurations the driver knows how to merge.
+MODES = ("context_flow", "context_hw", "flow_hw")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """A workload plus its input set, in fork-safe (picklable) form.
+
+    Exactly one of ``workload`` (a SPEC95 suite name), ``source``
+    (mini-language text), or ``asm`` (IR assembly text) names the
+    program; workers rebuild it locally rather than pickling compiled
+    IR.  ``inputs`` is the input set: one integer-argument tuple per
+    run of ``main``.
+    """
+
+    workload: Optional[str] = None
+    scale: float = 1.0
+    source: Optional[str] = None
+    asm: Optional[str] = None
+    inputs: Tuple[Tuple[int, ...], ...] = ((),)
+    mode: str = "context_flow"
+    engine: Optional[str] = None
+    placement: str = "spanning_tree"
+    by_site: bool = True
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; options: {MODES}")
+        named = [x is not None for x in (self.workload, self.source, self.asm)]
+        if sum(named) != 1:
+            raise ValueError("specify exactly one of workload/source/asm")
+        object.__setattr__(
+            self, "inputs", tuple(tuple(args) for args in self.inputs)
+        )
+
+    def build_program(self):
+        if self.workload is not None:
+            from repro.workloads.suite import build_workload
+
+            return build_workload(self.workload, self.scale)
+        if self.source is not None:
+            from repro.lang import compile_source
+
+            return compile_source(self.source)
+        from repro.ir.asm import parse_program
+
+        return parse_program(self.asm)
+
+
+@dataclass
+class ShardOutcome:
+    """The merged view of one sharded (or serial reference) run."""
+
+    spec: ShardSpec
+    shards: int
+    #: Aggregate CCT (context modes; ``None`` for ``flow_hw``).
+    cct: Optional[MergedCCT]
+    #: Aggregate flat path profile (``None`` for ``context_hw``).
+    path_profile: Optional[PathProfile]
+    #: Sum of the sixteen ground-truth event counters over every run.
+    counters: Dict[Event, int]
+    #: ``main``'s return value per input, in input-set order.
+    return_values: List[int]
+    #: Shard CCT dump paths (empty when ``workdir`` was temporary).
+    shard_files: List[str] = field(default_factory=list)
+
+
+def _run_one(pp: PP, program, spec: ShardSpec, args: Tuple[int, ...]):
+    if spec.mode == "context_flow":
+        return pp.context_flow(program, args, by_site=spec.by_site)
+    if spec.mode == "context_hw":
+        return pp.context_hw(program, args, by_site=spec.by_site)
+    return pp.flow_hw(program, args)
+
+
+def flow_template(spec: ShardSpec):
+    """Instrument (without running) to recover the path numberings.
+
+    Instrumentation is deterministic in the program, so the template's
+    :class:`FunctionPathInfo` decodes path sums produced by any worker.
+    """
+    from repro.instrument.pathinstr import instrument_paths
+
+    program = clone_program(spec.build_program())
+    from repro.instrument.tables import ProfilingRuntime
+
+    runtime = ProfilingRuntime(MemoryMap().profiling.base)
+    return instrument_paths(
+        program,
+        mode="hw" if spec.mode == "flow_hw" else "freq",
+        placement=spec.placement,
+        runtime=runtime,
+        per_context=spec.mode == "context_flow",
+    )
+
+
+def _shard_worker(task):
+    """Run one shard's inputs; executed in a forked worker process."""
+    spec, chunk, cct_path = task
+    pp = PP(placement=spec.placement, engine=spec.engine)
+    program = spec.build_program()
+    counters = [0] * NUM_EVENTS
+    returns: List[Tuple[int, int]] = []
+    ccts = []
+    flow_counts: Dict[str, Dict[int, int]] = {}
+    flow_metrics: Dict[str, Dict[int, List[int]]] = {}
+    for input_index, args in chunk:
+        run = _run_one(pp, program, spec, args)
+        for event in Event:
+            counters[event] += run.result.counters[event]
+        returns.append((input_index, run.result.return_value))
+        if run.cct is not None:
+            ccts.append(run.cct)
+        if spec.mode == "flow_hw":
+            for name, fpp in run.path_profile.functions.items():
+                flow_counts[name] = merge_counts(
+                    [flow_counts.get(name, {}), fpp.counts]
+                )
+                flow_metrics[name] = merge_metric_maps(
+                    [flow_metrics.get(name, {}), fpp.metrics]
+                )
+    if ccts:
+        save_cct(merge_ccts(ccts), cct_path)
+    else:
+        cct_path = None
+    return {
+        "counters": counters,
+        "returns": returns,
+        "cct_path": cct_path,
+        "flow_counts": flow_counts if spec.mode == "flow_hw" else None,
+        "flow_metrics": flow_metrics if spec.mode == "flow_hw" else None,
+    }
+
+
+def _merge_shard_results(spec: ShardSpec, shards: int, results) -> ShardOutcome:
+    counters = {event: 0 for event in Event}
+    returns: List[Tuple[int, int]] = []
+    shard_files: List[str] = []
+    ccts = []
+    for result in results:
+        for event in Event:
+            counters[event] += result["counters"][event]
+        returns.extend(result["returns"])
+        if result["cct_path"]:
+            shard_files.append(result["cct_path"])
+            ccts.append(load_cct(result["cct_path"]))
+
+    cct = merge_ccts(ccts) if spec.mode != "flow_hw" else None
+    profile: Optional[PathProfile] = None
+    if spec.mode == "context_flow":
+        profile = collect_path_profile(flow_template(spec), cct_runtime=cct)
+    elif spec.mode == "flow_hw":
+        template = flow_template(spec)
+        profile = PathProfile()
+        for name, info in template.functions.items():
+            merged_counts = merge_counts(
+                [r["flow_counts"].get(name, {}) for r in results]
+            )
+            merged_metrics = merge_metric_maps(
+                [r["flow_metrics"].get(name, {}) for r in results]
+            )
+            profile.functions[name] = FunctionPathProfile(
+                info, merged_counts, merged_metrics
+            )
+    return ShardOutcome(
+        spec=spec,
+        shards=shards,
+        cct=cct,
+        path_profile=profile,
+        counters=counters,
+        return_values=[rv for _, rv in sorted(returns)],
+        shard_files=shard_files,
+    )
+
+
+def shard_run(
+    spec: ShardSpec,
+    shards: int,
+    workdir: Optional[str] = None,
+    jobs: Optional[int] = None,
+) -> ShardOutcome:
+    """Profile ``spec``'s input set across ``shards`` forked workers.
+
+    ``workdir`` keeps the per-shard CCT dumps (otherwise a temporary
+    directory is used and cleaned up).  ``jobs`` caps worker
+    parallelism (default: one process per shard; ``jobs=1`` runs the
+    shards serially in-process, still exercising the dump/merge path).
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    chunks = [
+        [(i, args) for i, args in enumerate(spec.inputs)][shard::shards]
+        for shard in range(shards)
+    ]
+    cleanup = None
+    if workdir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-shards-")
+        workdir = cleanup.name
+    try:
+        tasks = [
+            (spec, chunk, os.path.join(workdir, f"shard{index}.cct.json"))
+            for index, chunk in enumerate(chunks)
+        ]
+        results = run_tasks(
+            _shard_worker, tasks, jobs=shards if jobs is None else jobs
+        )
+        outcome = _merge_shard_results(spec, shards, results)
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+    if cleanup is not None:
+        outcome.shard_files = []
+    return outcome
+
+
+def serial_run(spec: ShardSpec) -> ShardOutcome:
+    """The unsharded reference: every input in-process, one merge.
+
+    Uses the identical aggregation path as :func:`shard_run` (merge of
+    per-run CCTs, pointwise profile sums) without forking or touching
+    disk, so sharded outcomes can be compared against it bit for bit.
+    """
+    pp = PP(placement=spec.placement, engine=spec.engine)
+    program = spec.build_program()
+    counters = {event: 0 for event in Event}
+    returns: List[int] = []
+    ccts = []
+    profiles: List[PathProfile] = []
+    for args in spec.inputs:
+        run = _run_one(pp, program, spec, args)
+        for event in Event:
+            counters[event] += run.result.counters[event]
+        returns.append(run.result.return_value)
+        if run.cct is not None:
+            ccts.append(run.cct)
+        if spec.mode == "flow_hw":
+            profiles.append(run.path_profile)
+
+    cct = merge_ccts(ccts) if spec.mode != "flow_hw" else None
+    profile: Optional[PathProfile] = None
+    if spec.mode == "context_flow":
+        profile = collect_path_profile(flow_template(spec), cct_runtime=cct)
+    elif spec.mode == "flow_hw":
+        template = flow_template(spec)
+        profile = PathProfile()
+        for name, info in template.functions.items():
+            profile.functions[name] = FunctionPathProfile(
+                info,
+                merge_counts([p.functions[name].counts for p in profiles
+                              if name in p.functions]),
+                merge_metric_maps([p.functions[name].metrics for p in profiles
+                                   if name in p.functions]),
+            )
+    return ShardOutcome(
+        spec=spec,
+        shards=1,
+        cct=cct,
+        path_profile=profile,
+        counters=counters,
+        return_values=returns,
+    )
+
+
+def spec_for_workload(
+    name: str,
+    scale: float = 1.0,
+    runs: int = 1,
+    mode: str = "context_flow",
+    engine: Optional[str] = None,
+) -> ShardSpec:
+    """Input set for a suite workload: ``runs`` repetitions of its
+    (argument-less, deterministic) entry point."""
+    return ShardSpec(
+        workload=name,
+        scale=scale,
+        inputs=tuple(() for _ in range(max(1, runs))),
+        mode=mode,
+        engine=engine,
+    )
+
+
+__all__ = [
+    "MODES",
+    "ShardOutcome",
+    "ShardSpec",
+    "serial_run",
+    "shard_run",
+    "spec_for_workload",
+]

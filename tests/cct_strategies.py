@@ -1,0 +1,140 @@
+"""Hypothesis strategies that generate *valid* CCT structures.
+
+"Valid" means the invariants the on-line runtime maintains hold:
+
+* every non-root record sits in exactly one callee slot of its parent;
+* a slot's callees have pairwise-distinct procedure identifiers;
+* a procedure already on the ancestor chain is always referenced as a
+  recursion backedge to that ancestor, never as a fresh child (the
+  ancestor-search rule of paper §4.2);
+* per-record path tables follow a fixed per-procedure geometry, the
+  way one instrumented program produces identically-shaped tables in
+  every run.
+
+The fixed geometry makes any two generated trees merge-compatible, so
+the merge-algebra property tests never trip :class:`MergeError` on
+structurally inconsistent operands.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from hypothesis import strategies as st
+
+from repro.cct.records import ROOT_ID, CalleeList, CallRecord, ListNode
+from repro.instrument.tables import CounterTable, TableKind
+from repro.machine.memory import WORD, MemoryMap
+
+PROCS = ["alpha", "beta", "gamma", "delta", "epsilon"]
+
+#: slot count per procedure (fixed: one program shape for all trees).
+PROC_NSLOTS = {proc: 1 + (index % 3) for index, proc in enumerate(PROCS)}
+
+#: path-table geometry per procedure: (capacity, metric_slots, kind, buckets).
+TABLE_SPECS = {
+    "alpha": (6, 0, TableKind.ARRAY, 8),
+    "beta": (4, 2, TableKind.ARRAY, 8),
+    "gamma": (9000, 0, TableKind.HASH, 16),
+    "delta": (8, 2, TableKind.ARRAY, 8),
+    "epsilon": (5000, 2, TableKind.HASH, 8),
+}
+
+METRIC_SLOTS = 3
+MAX_DEPTH = 3
+
+
+class FakeCCT:
+    """Duck-typed CCT holder (root/records/heap_bytes protocol)."""
+
+    def __init__(self, root: CallRecord, records: List[CallRecord], heap: int):
+        self.root = root
+        self.records = records
+        self._heap = heap
+
+    def heap_bytes(self) -> int:
+        return self._heap
+
+
+@st.composite
+def cct_trees(draw) -> FakeCCT:
+    base = MemoryMap().cct.base
+    cursor = [base]
+    records: List[CallRecord] = []
+
+    def alloc(size: int) -> int:
+        addr = cursor[0]
+        cursor[0] += size
+        return addr
+
+    def new_record(proc: str, parent: Optional[CallRecord], nslots: int) -> CallRecord:
+        size = (2 + METRIC_SLOTS + nslots) * WORD
+        record = CallRecord(proc, parent, nslots, METRIC_SLOTS, alloc(size))
+        record.metrics = [
+            draw(st.integers(min_value=0, max_value=50)) for _ in range(METRIC_SLOTS)
+        ]
+        records.append(record)
+        return record
+
+    def add_tables(record: CallRecord) -> None:
+        for proc in draw(
+            st.lists(st.sampled_from(PROCS), unique=True, max_size=2)
+        ):
+            capacity, metric_slots, kind, buckets = TABLE_SPECS[proc]
+            table = CounterTable(
+                f"{proc}@{record.addr:#x}", -1, 0, capacity, metric_slots, kind,
+                buckets=buckets,
+            )
+            table.base = alloc(table.size_bytes())
+            keys = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=min(capacity - 1, 31)),
+                    unique=True,
+                    max_size=4,
+                )
+            )
+            for key in keys:
+                table.counts[key] = draw(st.integers(min_value=1, max_value=40))
+                if metric_slots and draw(st.booleans()):
+                    table.metrics[key] = [
+                        draw(st.integers(min_value=0, max_value=99))
+                        for _ in range(metric_slots)
+                    ]
+            record.path_tables[proc] = table
+
+    def populate(record: CallRecord, ancestors: dict, depth: int) -> None:
+        add_tables(record)
+        for slot_index in range(record.nslots):
+            shape = draw(st.sampled_from(["empty", "single", "single", "list"]))
+            if shape == "empty":
+                continue
+            count = 1 if shape == "single" else draw(st.integers(1, 3))
+            procs = draw(
+                st.lists(
+                    st.sampled_from(PROCS), unique=True, min_size=count, max_size=count
+                )
+            )
+            callees: List[CallRecord] = []
+            for proc in procs:
+                if proc in ancestors:
+                    # the ancestor-search rule: recursion reuses the
+                    # ancestor record via a backedge
+                    callees.append(ancestors[proc])
+                elif depth < MAX_DEPTH:
+                    child = new_record(proc, record, PROC_NSLOTS[proc])
+                    populate(child, {**ancestors, proc: child}, depth + 1)
+                    callees.append(child)
+            if not callees:
+                continue
+            if shape == "single" and len(callees) == 1:
+                record.slots[slot_index] = callees[0]
+            else:
+                lst = CalleeList()
+                lst.nodes = [
+                    ListNode(callee, alloc(2 * WORD)) for callee in callees
+                ]
+                record.slots[slot_index] = lst
+
+    root = new_record(ROOT_ID, None, 1)
+    populate(root, {}, 0)
+    return FakeCCT(root, records, cursor[0] - base)

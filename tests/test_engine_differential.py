@@ -11,10 +11,14 @@ This is the acceptance gate for the engine: any divergence in any of
 the sixteen counters on any workload is a bug in the fast engine.
 """
 
+import dataclasses
+
 import pytest
 
+from repro.cct.merge import strict_form
 from repro.machine.counters import Event
 from repro.tools.pp import PP
+from repro.tools.shard_runner import spec_for_workload, shard_run
 from repro.workloads.suite import SPEC95, build_workload
 
 SCALE = 0.25
@@ -52,3 +56,25 @@ def test_engines_agree(name):
     _assert_identical(
         name, "context_hw", simple.context_hw(program), fast.context_hw(program)
     )
+
+
+@pytest.mark.parametrize("name", SPEC95)
+def test_engines_agree_under_sharding(name):
+    """The sharded driver is engine-transparent: splitting two runs of
+    a workload across two shards yields identical merged CCTs and
+    counter totals regardless of which execution engine the workers
+    use."""
+    base = spec_for_workload(name, scale=SCALE, runs=2, mode="context_hw")
+    outcomes = {
+        engine: shard_run(dataclasses.replace(base, engine=engine), 2, jobs=1)
+        for engine in ("simple", "fast")
+    }
+    simple, fast = outcomes["simple"], outcomes["fast"]
+    diverging = {
+        event: (simple.counters[event], fast.counters[event])
+        for event in Event
+        if simple.counters[event] != fast.counters[event]
+    }
+    assert not diverging, f"{name}/sharded: counter divergence {diverging}"
+    assert simple.return_values == fast.return_values, f"{name}/sharded: returns"
+    assert strict_form(simple.cct) == strict_form(fast.cct), f"{name}/sharded: cct"

@@ -1,0 +1,134 @@
+"""Property-based tests for the CCT merge algebra.
+
+On canonical-equality (:func:`repro.cct.merge.canonical_form`) the
+merge must be a commutative monoid: commutative, associative, with
+the empty CCT as identity.  Aggregate mass (metric vectors, path
+table counts) must be conserved — merging never invents or drops
+counts.  The generated operands share one "program shape" (see
+``tests/cct_strategies.py``) so they are always merge-compatible.
+"""
+
+from hypothesis import given, settings
+
+from repro.cct.merge import (
+    MergeError,
+    canonical_form,
+    cct_equivalent,
+    empty_cct,
+    merge_ccts,
+)
+from repro.cct.records import ROOT_ID, CalleeList, CallRecord
+
+from tests.cct_strategies import FakeCCT, cct_trees
+
+FEW = settings(max_examples=40, deadline=None)
+
+
+@FEW
+@given(cct_trees(), cct_trees())
+def test_merge_commutative(a, b):
+    assert canonical_form(merge_ccts([a, b])) == canonical_form(merge_ccts([b, a]))
+
+
+@FEW
+@given(cct_trees(), cct_trees(), cct_trees())
+def test_merge_associative(a, b, c):
+    left = merge_ccts([merge_ccts([a, b]), c])
+    right = merge_ccts([a, merge_ccts([b, c])])
+    flat = merge_ccts([a, b, c])
+    assert canonical_form(left) == canonical_form(right) == canonical_form(flat)
+
+
+@FEW
+@given(cct_trees())
+def test_merge_identity(x):
+    assert cct_equivalent(merge_ccts([x, empty_cct()]), x)
+    assert cct_equivalent(merge_ccts([empty_cct(), x]), x)
+    assert cct_equivalent(merge_ccts([x]), x)
+
+
+@FEW
+@given(cct_trees())
+def test_merge_idempotent_canonicalization(x):
+    """Re-merging a merge result is a no-op, bit for bit."""
+    once = merge_ccts([x])
+    twice = merge_ccts([once])
+    from repro.cct.merge import strict_form
+
+    assert strict_form(once) == strict_form(twice)
+
+
+def _mass(cct):
+    metrics = [0, 0, 0]
+    table_counts = 0
+    table_metrics = 0
+    for record in cct.records:
+        for offset, value in enumerate(record.metrics):
+            metrics[offset] += value
+        for table in record.path_tables.values():
+            table_counts += sum(table.counts.values())
+            table_metrics += sum(sum(v) for v in table.metrics.values())
+    return metrics, table_counts, table_metrics
+
+
+@FEW
+@given(cct_trees(), cct_trees())
+def test_merge_conserves_mass(a, b):
+    merged = _mass(merge_ccts([a, b]))
+    separate = [_mass(a), _mass(b)]
+    assert merged[0] == [x + y for x, y in zip(separate[0][0], separate[1][0])]
+    assert merged[1] == separate[0][1] + separate[1][1]
+    assert merged[2] == separate[0][2] + separate[1][2]
+
+
+def test_merge_rejects_child_vs_backedge_conflict():
+    """One operand recursed where the other allocated: different programs."""
+
+    def chain(recursive: bool) -> FakeCCT:
+        root = CallRecord(ROOT_ID, None, 1, 3, 0)
+        outer = CallRecord("f", root, 1, 3, 0)
+        root.slots[0] = outer
+        if recursive:
+            outer.slots[0] = outer  # self-recursion backedge
+            return FakeCCT(root, [root, outer], 0)
+        inner = CallRecord("f", outer, 1, 3, 0)
+        inner.parent = outer
+        outer.slots[0] = inner
+        return FakeCCT(root, [root, outer, inner], 0)
+
+    import pytest
+
+    with pytest.raises(MergeError):
+        merge_ccts([chain(True), chain(False)])
+
+
+def test_merge_rejects_incompatible_tables():
+    from repro.instrument.tables import CounterTable, TableKind
+
+    def one(capacity: int) -> FakeCCT:
+        root = CallRecord(ROOT_ID, None, 1, 3, 0)
+        table = CounterTable("t", -1, 0, capacity, 0, TableKind.ARRAY, buckets=8)
+        table.counts[0] = 1
+        root.path_tables["f"] = table
+        return FakeCCT(root, [root], 0)
+
+    import pytest
+
+    with pytest.raises(MergeError):
+        merge_ccts([one(4), one(8)])
+
+
+def test_merge_preserves_callee_list_tag():
+    """A one-element callee list stays a list through a merge (the tag
+    distinguishes an indirect-call slot from a plain direct site)."""
+    root = CallRecord(ROOT_ID, None, 1, 3, 0)
+    child = CallRecord("f", root, 1, 3, 0)
+    lst = CalleeList()
+    from repro.cct.records import ListNode
+
+    lst.nodes = [ListNode(child, 0)]
+    root.slots[0] = lst
+    x = FakeCCT(root, [root, child], 0)
+    merged = merge_ccts([x, empty_cct()])
+    assert isinstance(merged.root.slots[0], CalleeList)
+    assert cct_equivalent(merged, x)

@@ -1,0 +1,176 @@
+"""Round-trip fidelity of ``save_cct``/``load_cct``.
+
+A save/load cycle must reproduce the *entire* structure — records,
+parents, metrics, recursion backedges, callee lists including their
+cell addresses, hash- and array-kind path tables including base
+addresses and quarantined-commit counts, and the heap-bytes
+bookkeeping.  :func:`repro.cct.merge.strict_form` captures exactly
+that, so round-tripping is ``strict_form(loaded) ==
+strict_form(original)`` over randomly generated runtimes and over
+CCTs built by real instrumented runs.
+"""
+
+import os
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cct.merge import strict_form
+from repro.cct.records import ROOT_ID, CalleeList, CallRecord, ListNode
+from repro.cct.runtime import CCTRuntime
+from repro.cct.serialize import load_cct, save_cct
+from repro.lang import compile_source
+from repro.machine.memory import MemoryMap
+from repro.tools.pp import PP
+
+from tests.cct_strategies import FakeCCT, cct_trees
+
+
+def _roundtrip(cct):
+    with tempfile.TemporaryDirectory() as workdir:
+        path = os.path.join(workdir, "cct.json")
+        save_cct(cct, path)
+        return load_cct(path)
+
+
+@settings(max_examples=60, deadline=None)
+@given(cct_trees())
+def test_random_runtime_roundtrips_exactly(cct):
+    loaded = _roundtrip(cct)
+    assert strict_form(loaded) == strict_form(cct)
+
+
+@settings(max_examples=25, deadline=None)
+@given(cct_trees())
+def test_double_roundtrip_is_stable(cct):
+    once = _roundtrip(cct)
+    twice = _roundtrip(once)
+    assert strict_form(once) == strict_form(twice)
+
+
+def test_callee_list_cell_addresses_survive():
+    """Regression: loading used ``ListNode(record, 0)``, zeroing every
+    list cell's heap address on a round trip."""
+    base = MemoryMap().cct.base
+    root = CallRecord(ROOT_ID, None, 1, 3, base)
+    first = CallRecord("f", root, 1, 3, base + 100)
+    second = CallRecord("g", root, 1, 3, base + 200)
+    lst = CalleeList()
+    lst.nodes = [ListNode(first, base + 300), ListNode(second, base + 316)]
+    root.slots[0] = lst
+    cct = FakeCCT(root, [root, first, second], 400)
+
+    loaded = _roundtrip(cct)
+    slot = loaded.root.slots[0]
+    assert isinstance(slot, CalleeList)
+    assert [node.addr for node in slot.nodes] == [base + 300, base + 316]
+    assert [node.record.id for node in slot.nodes] == ["f", "g"]
+
+
+def test_table_base_and_out_of_range_survive():
+    from repro.instrument.tables import CounterTable, TableKind
+
+    base = MemoryMap().cct.base
+    root = CallRecord(ROOT_ID, None, 1, 3, base)
+    table = CounterTable("f@0x0", -1, base + 64, 9000, 2, TableKind.HASH, buckets=16)
+    table.counts = {7: 3, 8123: 1}
+    table.metrics = {7: [10, 2]}
+    table.out_of_range = 5
+    root.path_tables["f"] = table
+    cct = FakeCCT(root, [root], 4096)
+
+    loaded = _roundtrip(cct)
+    restored = loaded.root.path_tables["f"]
+    assert restored.base == base + 64
+    assert restored.out_of_range == 5
+    assert restored.kind is TableKind.HASH
+    assert restored.buckets == 16
+    assert strict_form(loaded) == strict_form(cct)
+
+
+def test_legacy_payload_without_new_fields_loads():
+    """Dumps written before cell addresses/bases were persisted load
+    with those fields zeroed rather than failing."""
+    import json
+
+    payload = {
+        "format": "repro-cct-v1",
+        "heap_bytes": 128,
+        "root": 0,
+        "records": [
+            {
+                "id": ROOT_ID,
+                "parent": None,
+                "metrics": [0, 0, 0],
+                "addr": 0,
+                "slots": [{"list": [1]}],
+                "path_tables": {},
+            },
+            {
+                "id": "f",
+                "parent": 0,
+                "metrics": [1, 2, 3],
+                "addr": 64,
+                "slots": [],
+                "path_tables": {
+                    "f": {
+                        "name": "f@0x40",
+                        "capacity": 4,
+                        "metric_slots": 0,
+                        "kind": "array",
+                        "buckets": 16384,
+                        "counts": {"1": 9},
+                        "metrics": {},
+                    }
+                },
+            },
+        ],
+    }
+    with tempfile.TemporaryDirectory() as workdir:
+        path = os.path.join(workdir, "legacy.json")
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        loaded = load_cct(path)
+    slot = loaded.root.slots[0]
+    assert isinstance(slot, CalleeList)
+    assert slot.nodes[0].addr == 0
+    table = loaded.records[1].path_tables["f"]
+    assert table.base == 0 and table.out_of_range == 0
+    assert table.counts == {1: 9}
+
+
+MULTI_CALLEE = """
+fn helper(x) { if (x % 2 == 0) { return x * 3; } return x + 7; }
+fn fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+fn main() {
+    var i = 0; var sum = 0;
+    while (i < 9) { sum = sum + helper(i) + fib(i % 5); i = i + 1; }
+    return sum;
+}
+"""
+
+
+@pytest.mark.parametrize("by_site", [True, False], ids=["by_site", "merged_sites"])
+def test_live_runtime_roundtrips_exactly(by_site):
+    """An executed CCT — recursion backedge, and with merged call
+    sites a real move-to-front callee list — survives save/load."""
+    program = compile_source(MULTI_CALLEE)
+    run = PP().context_hw(program, by_site=by_site)
+    assert isinstance(run.cct, CCTRuntime)
+    if not by_site:
+        assert any(
+            isinstance(slot, CalleeList)
+            for record in run.cct.records
+            for slot in record.slots
+        )
+    loaded = _roundtrip(run.cct)
+    assert strict_form(loaded) == strict_form(run.cct)
+
+
+def test_combined_mode_roundtrips_exactly():
+    program = compile_source(MULTI_CALLEE)
+    run = PP().context_flow(program)
+    assert any(record.path_tables for record in run.cct.records)
+    loaded = _roundtrip(run.cct)
+    assert strict_form(loaded) == strict_form(run.cct)

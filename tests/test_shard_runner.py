@@ -1,0 +1,183 @@
+"""Sharded profiling must be invisible in the merged results.
+
+For a deterministic workload, splitting the input set across N forked
+workers and merging the per-shard CCT dumps must reproduce the serial
+run exactly: identical CCT structure byte for byte (strict form),
+identical Table-3 statistics, identical hot-path classification, and
+identical totals across all sixteen hardware event counters.
+"""
+
+import os
+
+import pytest
+
+from repro.cct.merge import canonical_form, strict_form
+from repro.cct.stats import cct_statistics
+from repro.machine.counters import NUM_EVENTS, Event
+from repro.profiles.hotpaths import classify_paths
+from repro.tools.shard_runner import (
+    ShardSpec,
+    flow_template,
+    serial_run,
+    shard_run,
+    spec_for_workload,
+)
+
+SOURCE = """
+fn helper(x) { if (x % 2 == 0) { return x * 3; } return x + 7; }
+fn fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+fn main(a) {
+    var i = 0; var sum = 0;
+    while (i < a) { sum = sum + helper(i) + fib(i % 6); i = i + 1; }
+    return sum;
+}
+"""
+
+INPUTS = ((4,), (7,), (2,), (9,), (5,), (3,))
+
+
+def _profile_facts(profile):
+    return {
+        name: (dict(fpp.counts), {k: list(v) for k, v in fpp.metrics.items()})
+        for name, fpp in profile.functions.items()
+    }
+
+
+class TestShardEqualsSerial:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_combined_mode(self, shards):
+        spec = ShardSpec(source=SOURCE, inputs=INPUTS, mode="context_flow")
+        reference = serial_run(spec)
+        outcome = shard_run(spec, shards, jobs=1)
+        assert outcome.return_values == reference.return_values
+        assert strict_form(outcome.cct) == strict_form(reference.cct)
+        assert cct_statistics(outcome.cct).row() == cct_statistics(reference.cct).row()
+        assert _profile_facts(outcome.path_profile) == _profile_facts(
+            reference.path_profile
+        )
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_flow_hw_hot_paths(self, shards):
+        spec = ShardSpec(source=SOURCE, inputs=INPUTS, mode="flow_hw")
+        reference = serial_run(spec)
+        outcome = shard_run(spec, shards, jobs=1)
+        assert outcome.cct is None
+        assert _profile_facts(outcome.path_profile) == _profile_facts(
+            reference.path_profile
+        )
+        ours = classify_paths(outcome.path_profile)
+        theirs = classify_paths(reference.path_profile)
+        assert ours.row() == theirs.row()
+        assert [
+            (c.entry.function, c.entry.path_sum, c.klass) for c in ours.classified
+        ] == [
+            (c.entry.function, c.entry.path_sum, c.klass) for c in theirs.classified
+        ]
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_all_sixteen_counters(self, shards):
+        """Counter totals are partition-invariant, event by event."""
+        spec = ShardSpec(source=SOURCE, inputs=INPUTS, mode="context_hw")
+        reference = serial_run(spec)
+        outcome = shard_run(spec, shards, jobs=1)
+        assert len(Event) == NUM_EVENTS == 16
+        for event in Event:
+            assert outcome.counters[event] == reference.counters[event], event.name
+        assert strict_form(outcome.cct) == strict_form(reference.cct)
+
+    def test_forked_workers_match(self, tmp_path):
+        """The real multiprocess path (fork + dump + reload)."""
+        spec = ShardSpec(source=SOURCE, inputs=INPUTS, mode="context_flow")
+        reference = serial_run(spec)
+        outcome = shard_run(spec, 3, workdir=str(tmp_path))
+        assert strict_form(outcome.cct) == strict_form(reference.cct)
+        assert outcome.counters == reference.counters
+        assert len(outcome.shard_files) == 3
+        for shard_file in outcome.shard_files:
+            assert os.path.exists(shard_file)
+
+    def test_more_shards_than_inputs(self):
+        """Workers with empty chunks contribute the merge identity."""
+        spec = ShardSpec(source=SOURCE, inputs=INPUTS[:2], mode="context_flow")
+        reference = serial_run(spec)
+        outcome = shard_run(spec, 4, jobs=1)
+        assert strict_form(outcome.cct) == strict_form(reference.cct)
+        assert outcome.counters == reference.counters
+
+
+class TestSpecValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            ShardSpec(source=SOURCE, mode="edge")
+
+    def test_exactly_one_program_source(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            ShardSpec(source=SOURCE, workload="129.compress")
+        with pytest.raises(ValueError, match="exactly one"):
+            ShardSpec()
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            shard_run(ShardSpec(source=SOURCE), 0)
+
+
+class TestWorkloadSharding:
+    def test_workload_spec_repetitions(self):
+        spec = spec_for_workload("129.compress", scale=0.2, runs=3)
+        assert spec.inputs == ((), (), ())
+
+    def test_sharded_workload_matches_serial(self):
+        spec = spec_for_workload("129.compress", scale=0.2, runs=2)
+        reference = serial_run(spec)
+        outcome = shard_run(spec, 2, jobs=1)
+        assert strict_form(outcome.cct) == strict_form(reference.cct)
+        assert outcome.counters == reference.counters
+
+    def test_table3_sharded_is_shard_count_invariant(self):
+        from repro.experiments.table3 import cct_stats_experiment
+
+        rows = {
+            shards: cct_stats_experiment(
+                ["129.compress"], scale=0.2, shards=shards, runs=2
+            )
+            for shards in (1, 2)
+        }
+        assert rows[1] == rows[2]
+        assert rows[1][0]["Benchmark"] == "129.compress"
+        # two runs double the aggregate call frequency vs one
+        single = cct_stats_experiment(["129.compress"], scale=0.2, shards=1, runs=1)
+        assert rows[1][0]["Nodes"] == single[0]["Nodes"]
+
+    def test_one_path_column_present_under_sharding(self):
+        spec = spec_for_workload("145.fpppp", scale=0.2, runs=1)
+        outcome = shard_run(spec, 2, jobs=1)
+        template = flow_template(spec)
+        stats = cct_statistics(
+            outcome.cct, program=template.program, flow_functions=template.functions
+        )
+        assert stats.call_sites_one_path is not None
+
+
+class TestMergedProfileSemantics:
+    def test_metrics_scale_with_repeated_inputs(self):
+        one = serial_run(ShardSpec(source=SOURCE, inputs=((6,),)))
+        three = serial_run(ShardSpec(source=SOURCE, inputs=((6,), (6,), (6,))))
+        assert canonical_form(one.cct) != canonical_form(three.cct)
+        freq_one = sum(
+            r.metrics[0] for r in one.cct.records if r is not one.cct.root
+        )
+        freq_three = sum(
+            r.metrics[0] for r in three.cct.records if r is not three.cct.root
+        )
+        assert freq_three == 3 * freq_one
+
+    def test_disjoint_inputs_union_paths(self):
+        """Inputs driving different paths union in the aggregate."""
+        even = serial_run(ShardSpec(source=SOURCE, inputs=((2,),), mode="flow_hw"))
+        merged = serial_run(
+            ShardSpec(source=SOURCE, inputs=((2,), (9,)), mode="flow_hw")
+        )
+        helper_even = even.path_profile.functions["helper"]
+        helper_merged = merged.path_profile.functions["helper"]
+        assert set(helper_even.counts) <= set(helper_merged.counts)
+        assert helper_merged.total_freq() > helper_even.total_freq()
