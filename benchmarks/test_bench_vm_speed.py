@@ -19,11 +19,9 @@ noisy shared CI runners; ``REPRO_VM_SPEED_MIN`` overrides the target.
 import json
 import os
 import pathlib
-import time
 
 from benchmarks.conftest import SCALE, once, workload_selection
-from repro.machine.vm import Machine
-from repro.workloads.suite import build_workload
+from repro.tools.bench_runner import measure_vm_speed
 
 RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_vm_speed.json"
 
@@ -32,70 +30,14 @@ MIN_SPEEDUP = float(os.environ.get("REPRO_VM_SPEED_MIN", "3.0"))
 CHECK_ONLY = os.environ.get("REPRO_VM_SPEED_CHECK_ONLY", "") not in ("", "0")
 
 
-def _run_suite(programs, engine):
-    """One full-suite pass; returns (instructions, seconds, run facts)."""
-    total_instructions = 0
-    facts = []
-    start = time.perf_counter()
-    for name, program in programs.items():
-        result = Machine(program, engine=engine).run()
-        total_instructions += result.instructions
-        facts.append((name, result.counters, result.return_value, result.region_misses))
-    elapsed = time.perf_counter() - start
-    return total_instructions, elapsed, facts
-
-
-def _best_of(n, fn):
-    """Minimum wall time over ``n`` passes (noise floor, not average)."""
-    best = None
-    for _ in range(n):
-        instructions, elapsed, facts = fn()
-        if best is None or elapsed < best[1]:
-            best = (instructions, elapsed, facts)
-    return best
-
-
 def test_vm_speed(benchmark):
     names = workload_selection()
-    programs = {name: build_workload(name, SCALE) for name in names}
-
-    def measure():
-        simple_i, simple_t, simple_facts = _best_of(
-            2, lambda: _run_suite(programs, "simple")
-        )
-        cold_i, cold_t, cold_facts = _run_suite(programs, "fast")
-        warm_i, warm_t, warm_facts = _best_of(2, lambda: _run_suite(programs, "fast"))
-        return (
-            (simple_i, simple_t, simple_facts),
-            (cold_i, cold_t, cold_facts),
-            (warm_i, warm_t, warm_facts),
-        )
-
-    simple, cold, warm = once(benchmark, measure)
-    simple_i, simple_t, simple_facts = simple
-    cold_i, cold_t, cold_facts = cold
-    warm_i, warm_t, warm_facts = warm
-
-    # Both engines must be bit-identical in every counter, the return
-    # value, and the per-region miss attribution, on every workload.
-    assert simple_facts == cold_facts == warm_facts
-
-    speedup_cold = simple_t / cold_t
-    speedup_warm = simple_t / warm_t
-    payload = {
-        "scale": SCALE,
-        "workloads": len(programs),
-        "simulated_instructions": simple_i,
-        "simple": {"seconds": round(simple_t, 4), "instructions_per_second": round(simple_i / simple_t)},
-        "fast_cold": {"seconds": round(cold_t, 4), "instructions_per_second": round(cold_i / cold_t)},
-        "fast_warm": {"seconds": round(warm_t, 4), "instructions_per_second": round(warm_i / warm_t)},
-        "speedup_cold": round(speedup_cold, 2),
-        "speedup_warm": round(speedup_warm, 2),
-        "min_required": MIN_SPEEDUP,
-        "check_only": CHECK_ONLY,
-    }
+    payload = once(benchmark, lambda: measure_vm_speed(SCALE, names))
+    payload["min_required"] = MIN_SPEEDUP
+    payload["check_only"] = CHECK_ONLY
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
+    speedup_warm = payload["speedup_warm"]
     if CHECK_ONLY:
         assert speedup_warm > 1.0, payload
     else:

@@ -133,31 +133,16 @@ class CCTRuntime:
         slot = parent.slots[slot_index]
         proc = instr.proc
 
-        if slot is None:
-            child = self._find_or_allocate(machine, parent, proc, instr.nslots)
-            parent.slots[slot_index] = child
-            machine.probe_write(slot_addr, child.addr)
-        elif isinstance(slot, CallRecord):
-            if slot.id == proc:
-                child = slot
-                self.stats.fast_hits += 1
-            else:
-                # A direct site observed a second callee: calls routed
-                # through an uninstrumented intermediary.  Upgrade the
-                # slot to a callee list, as for indirect sites.
-                self.stats.slot_upgrades += 1
-                upgraded = CalleeList()
-                upgraded.nodes.append(ListNode(slot, self._alloc_bytes(2 * WORD)))
-                machine.probe_write(upgraded.nodes[0].addr, slot.addr)
-                machine.charge(3)
-                parent.slots[slot_index] = upgraded
-                machine.probe_write(slot_addr, upgraded.nodes[0].addr)
-                child = self._list_lookup(
-                    machine, parent, upgraded, slot_addr, proc, instr.nslots
-                )
+        # Tag 0 with a matching procedure: the common case.  The fast
+        # engine compiles exactly this test into generated segment code
+        # (class identity, not isinstance, so both engines take the same
+        # branch), falling back to :meth:`_enter_slow` otherwise.
+        if slot.__class__ is CallRecord and slot.id == proc:
+            child = slot
+            self.stats.fast_hits += 1
         else:
-            child = self._list_lookup(
-                machine, parent, slot, slot_addr, proc, instr.nslots
+            child = self._enter_slow(
+                machine, parent, slot_index, slot_addr, slot, proc, instr.nslots
             )
 
         # Save the caller's gCSP to the stack; the record becomes lCRP.
@@ -235,6 +220,46 @@ class CCTRuntime:
             self.gcsp = self._interrupted_gcsp.pop()
 
     # -- slow paths ----------------------------------------------------------------------
+
+    def _enter_slow(
+        self,
+        machine,
+        parent: CallRecord,
+        slot_index: int,
+        slot_addr: int,
+        slot,
+        proc: str,
+        nslots: int,
+    ) -> CallRecord:
+        """Entry protocol for every slot state but a tag-0 hit.
+
+        The caller has already counted the enter, read the slot, and
+        ruled out a matching record pointer; this resolves tag 1
+        (uninitialized), tag-0 mismatches (slot upgrade), and tag 2
+        (callee lists).  Shared verbatim by both engines: the fast
+        engine's fused entry sequence calls it through a per-site
+        closure.
+        """
+        if slot is None:
+            child = self._find_or_allocate(machine, parent, proc, nslots)
+            parent.slots[slot_index] = child
+            machine.probe_write(slot_addr, child.addr)
+            return child
+        if slot.__class__ is CallRecord:
+            # A direct site observed a second callee: calls routed
+            # through an uninstrumented intermediary.  Upgrade the
+            # slot to a callee list, as for indirect sites.
+            self.stats.slot_upgrades += 1
+            upgraded = CalleeList()
+            upgraded.nodes.append(ListNode(slot, self._alloc_bytes(2 * WORD)))
+            machine.probe_write(upgraded.nodes[0].addr, slot.addr)
+            machine.charge(3)
+            parent.slots[slot_index] = upgraded
+            machine.probe_write(slot_addr, upgraded.nodes[0].addr)
+            return self._list_lookup(
+                machine, parent, upgraded, slot_addr, proc, nslots
+            )
+        return self._list_lookup(machine, parent, slot, slot_addr, proc, nslots)
 
     def _list_lookup(
         self,

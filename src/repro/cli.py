@@ -10,7 +10,10 @@ Commands:
 * ``shard-run FILE`` — split an input set across forked workers and
   merge the per-shard profiles into one aggregate;
 * ``table N`` — regenerate one of the paper's tables over the suite
-  (Table 3 optionally through the sharded driver).
+  (Table 3 optionally through the sharded driver);
+* ``bench [--instrumented]`` — engine throughput over the suite,
+  writing/validating ``BENCH_vm_speed.json`` or
+  ``BENCH_instrumented_speed.json``.
 
 ``FILE`` ending in ``.asm`` is parsed as IR assembly; anything else is
 compiled as mini-language source.  Program arguments are integers
@@ -343,6 +346,66 @@ def cmd_shard_run(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Engine throughput benchmark; writes and validates the JSON gate."""
+    import json
+    import os
+    import pathlib
+
+    from repro.tools.bench_runner import measure_instrumented_speed, measure_vm_speed
+
+    names = args.workloads or None
+    if args.instrumented:
+        payload = measure_instrumented_speed(args.scale, names)
+        default_out = "BENCH_instrumented_speed.json"
+        min_default = os.environ.get("REPRO_INSTRUMENTED_SPEED_MIN", "2.0")
+        speedup = payload["speedup_warm_flow"]
+        rows = [
+            {
+                "Mode": mode,
+                "Simple s": data["simple"]["seconds"],
+                "Cold s": data["fast_cold"]["seconds"],
+                "Warm s": data["fast_warm"]["seconds"],
+                "Warm speedup": data["speedup_warm"],
+            }
+            for mode, data in payload["modes"].items()
+        ]
+        title = "instrumented suite throughput (gate: flow warm)"
+    else:
+        payload = measure_vm_speed(args.scale, names)
+        default_out = "BENCH_vm_speed.json"
+        min_default = os.environ.get("REPRO_VM_SPEED_MIN", "3.0")
+        speedup = payload["speedup_warm"]
+        rows = [
+            {
+                "Mode": "uninstrumented",
+                "Simple s": payload["simple"]["seconds"],
+                "Cold s": payload["fast_cold"]["seconds"],
+                "Warm s": payload["fast_warm"]["seconds"],
+                "Warm speedup": payload["speedup_warm"],
+            }
+        ]
+        title = "uninstrumented suite throughput"
+
+    minimum = args.min if args.min is not None else float(min_default)
+    payload["min_required"] = minimum
+    payload["check_only"] = args.check_only
+    out = pathlib.Path(args.out or default_out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(format_table(rows, title=f"{title} (scale={args.scale})"))
+    print(f"\nwritten to {out}")
+    if args.check_only:
+        ok, required = speedup > 1.0, ">1.0 (check-only)"
+    else:
+        ok, required = speedup >= minimum, f">={minimum}"
+    if not ok:
+        print(f"FAIL: warm speedup {speedup}, required {required}")
+        return 1
+    print(f"OK: warm speedup {speedup}, required {required}")
+    return 0
+
+
 def cmd_table(args) -> int:
     from repro import experiments
 
@@ -435,6 +498,30 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--first", default="", help="comma-separated args, run A")
     diff.add_argument("--second", default="", help="comma-separated args, run B")
     diff.set_defaults(fn=cmd_diff)
+
+    bench = sub.add_parser(
+        "bench", help="engine throughput benchmark (writes the JSON gate)"
+    )
+    bench.add_argument(
+        "--instrumented",
+        action="store_true",
+        help="measure the instrumented suite (flow/context/combined modes)",
+    )
+    bench.add_argument("--scale", type=float, default=0.5)
+    bench.add_argument("--workloads", nargs="*", help="subset of the suite")
+    bench.add_argument(
+        "--check-only",
+        action="store_true",
+        help="relax the speedup gate to >1x (noisy shared runners)",
+    )
+    bench.add_argument(
+        "--min",
+        type=float,
+        default=None,
+        help="required warm speedup (default: env override or 3.0/2.0)",
+    )
+    bench.add_argument("--out", help="output JSON path (default: gate filename)")
+    bench.set_defaults(fn=cmd_bench)
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", choices=["1", "2", "3", "4", "5"])

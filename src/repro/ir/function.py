@@ -9,6 +9,7 @@ table used by indirect calls, and the entry-point name.
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, Iterator, List, Optional, Union
 
 from repro.ir.instructions import (
@@ -24,19 +25,41 @@ class IRValidationError(Exception):
     """Raised when a function or program is structurally malformed."""
 
 
+#: Monotonic source of block edit generations.  ``id(block.instrs)`` is
+#: not a safe cache-validation token — a rebound list can reuse a
+#: GC-recycled id — so every splice stamps the block with a fresh value
+#: from this counter instead.
+_EDIT_GENERATIONS = itertools.count(1)
+
+
 class Block:
     """A basic block: straight-line instructions ending in one terminator."""
 
-    __slots__ = ("name", "instrs", "_decode_cache")
+    __slots__ = ("name", "instrs", "edit_gen", "_decode_cache")
 
     def __init__(self, name: str, instrs: Optional[List[Instruction]] = None):
         self.name = name
         self.instrs: List[Instruction] = instrs if instrs is not None else []
+        #: Edit generation: bumped by :meth:`note_edit` whenever the
+        #: instruction list is spliced or rebound.  The decode caches of
+        #: :mod:`repro.machine.engine` validate against this (plus the
+        #: list length as a belt-and-braces check), never against
+        #: ``id(instrs)``.
+        self.edit_gen = 0
         #: Compiled-code cache of :mod:`repro.machine.engine`; the
         #: generated source depends only on the instruction list, the
         #: block's base address, and a few config constants, so machines
         #: simulating the same program share one compile.
         self._decode_cache = None
+
+    def note_edit(self) -> None:
+        """Stamp a fresh edit generation after mutating ``instrs``.
+
+        Called by :class:`repro.edit.editor.FunctionEditor` and every
+        pass that splices or rebinds the instruction list; decoded-block
+        caches treat a changed generation as an eviction signal.
+        """
+        self.edit_gen = next(_EDIT_GENERATIONS)
 
     @property
     def terminator(self) -> Instruction:

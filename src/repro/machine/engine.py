@@ -17,10 +17,21 @@ machine:
   function — generated source with register numbers, immediates,
   addresses and cost constants inlined as literals, ``exec``-ed once at
   decode time;
+* the instrumentation hooks spliced by :mod:`repro.instrument` are
+  **fused** into the generated source wherever their behaviour is
+  static: array-table ``bump``/``accumulate`` fast paths with slot
+  addresses and strides as literals, ``edge_count`` with the whole
+  address precomputed, the PIC zero/save/restore sequences, the CCT
+  gCSP store before calls, and the CCT entry/exit protocol with a
+  generated tag-0 fast path that only calls into the runtime
+  (``CCTRuntime._enter_slow``) for tag-1/tag-2 slots.  Hash tables,
+  per-context tables (the combined mode's ``table == -1``), CCT
+  backedge probes, and programs run without an attached runtime keep
+  the closure fallback;
 * stateful-but-rare instructions (calls, returns, setjmp/longjmp and
-  every instrumentation hook) become one specialized closure handler
-  per instruction, with operands, callee records and cost constants
-  bound at decode time; segments invoke them directly;
+  non-fusible instrumentation hooks) become one specialized closure
+  handler per instruction, with operands, callee records and cost
+  constants bound at decode time; segments invoke them directly;
 * block-static work is hoisted out of the inner loop: per-run
   ``IC_REF``/``INSTRS``/``CYCLES``/``FP_STALL`` increments are batched
   into partial sums flushed before the next counter *observer*, and the
@@ -33,19 +44,32 @@ bank differs from one-at-a-time execution; the totals at every
 observation point are identical.  The observers are store-buffer pushes
 (which read ``CYCLES``), PIC reads (which read any event), the signal
 delivery and budget checks at block/segment boundaries, and run end —
-the decoder flushes pending cost sums before each of them.  I-cache
-probes happen at exactly the addresses where the dynamic
-``iline != last_iline`` test of the simple engine would fire: within a
+the decoder flushes pending cost sums before each of them.  A fused
+probe flushes only when its body actually reads a counter: every
+simulated profiling *store* drains the store buffer (an observer) and
+every PIC access latches counter values, so those sequences flush
+first, while the pure gCSP assignment of ``CctCall`` batches straight
+through.  Unlike closure handlers, fused probes neither break the
+segment nor reset the static I-cache line tracking, so the probe
+sequence stays exactly the one the simple engine's dynamic
+``iline != last_iline`` test produces.  I-cache probes happen at
+exactly the addresses where that dynamic test would fire: within a
 segment the line sequence is static, and the one dynamic case (the
 first instruction executed after a control transfer) is checked against
 the machine's line state at every segment head and inside every
 closure handler.
 
 Decoded blocks are cached per machine, keyed by ``(function, block)``
-and validated against ``id(block.instrs)`` and ``len(block.instrs)``,
-so :mod:`repro.edit` splices (which grow the instruction list in place)
+and validated against the block's **edit generation** (a monotonic
+counter :meth:`repro.ir.function.Block.note_edit` bumps on every
+splice; ``id(block.instrs)`` is unsafe — a GC'd list's id can be
+reused) plus ``len(block.instrs)``, so :mod:`repro.edit` splices
 invalidate stale entries automatically; call
 :meth:`Machine.invalidate_decoded` after any other program surgery.
+The generated source cached on the block additionally keys on a
+*probe fingerprint* — the table geometry and CCT flags baked into
+fused probes — so machines with differently-shaped runtimes never
+share compiled code.
 """
 
 from __future__ import annotations
@@ -53,6 +77,9 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.cct.records import CallRecord
+from repro.cct.runtime import GCSP_SLOT, _ShadowEntry
+from repro.instrument.tables import TableKind
 from repro.ir.instructions import (
     BINARY_OPS,
     FLOAT_OPS,
@@ -147,16 +174,26 @@ def _literal(value) -> str:
 class DecodedBlock:
     """One block's compiled step list plus cache-validation metadata."""
 
-    __slots__ = ("steps", "nsteps", "resume", "instrs_id", "n_instrs", "total_icost", "source")
+    __slots__ = (
+        "steps",
+        "nsteps",
+        "resume",
+        "edit_gen",
+        "n_instrs",
+        "total_icost",
+        "source",
+        "runtimes",
+    )
 
     def __init__(
         self,
         steps: List[Callable],
         resume: Dict[int, int],
-        instrs_id: int,
+        edit_gen: int,
         n_instrs: int,
         total_icost: int,
         source: str,
+        runtimes: Tuple,
     ):
         self.steps = steps
         self.nsteps = len(steps)
@@ -164,11 +201,18 @@ class DecodedBlock:
         #: (block entry, and the instruction after each call/setjmp —
         #: the only places ``frame.index`` can point mid-block).
         self.resume = resume
-        self.instrs_id = instrs_id
+        #: The block's edit generation at decode time; a bumped
+        #: generation (any splice) evicts this decoding.
+        self.edit_gen = edit_gen
         self.n_instrs = n_instrs
         self.total_icost = total_icost
         #: The generated segment source (kept for tests and debugging).
         self.source = source
+        #: The (path_runtime, cct_runtime) pair whose tables/records the
+        #: fused probes bound; strong references on purpose, so identity
+        #: comparison in ``_validate_decoded`` can never hit a recycled
+        #: ``id``.  Swapping runtimes between runs evicts the decoding.
+        self.runtimes = runtimes
 
 
 # ---------------------------------------------------------------------------
@@ -476,10 +520,14 @@ class _SegmentWriter:
     Fetch costs (``IC_REF``/``INSTRS``/``CYCLES``/``FP_STALL``) of
     consecutive inlined instructions accumulate into partial sums that
     are flushed before the next *observer* — a store (its store-buffer
-    push reads ``CYCLES``), a closure handler (instrumentation hooks
-    read the PIC counters and do their own cost accounting), a control
-    transfer, or segment end.  I-cache probes are emitted in
-    instruction order at line-crossing addresses only.
+    push reads ``CYCLES``), a fused probe body that reads a counter
+    (profiling stores and PIC accesses; the pure gCSP assignment of
+    ``CctCall`` is no observer and batches through), a closure handler
+    (non-fused hooks read the PIC counters and do their own cost
+    accounting), a control transfer, or segment end.  I-cache probes
+    are emitted in instruction order at line-crossing addresses only;
+    fused probes keep the static line tracking alive, only closure
+    handlers reset it.
     """
 
     def __init__(self, machine, fname: str, alloc_link: Callable[[], int]):
@@ -488,9 +536,12 @@ class _SegmentWriter:
         self.fname = fname
         self.alloc_link = alloc_link
         #: Per-segment maker parameters beyond the fixed ones, in
-        #: emission order: ("h", instr_index) handler closures and
-        #: ("lk", n) successor-link cells.
-        self.extras: List[Tuple[str, int]] = []
+        #: emission order: ("h", instr_index) handler closures,
+        #: ("lk", n) successor-link cells, and ("pb", spec) runtime
+        #: objects fused probes bind (tables, PIC methods, CCT state).
+        self.extras: List[Tuple[str, object]] = []
+        #: spec -> generated parameter name, for per-segment dedup.
+        self._params: Dict[Tuple, str] = {}
         self.config = machine.config
         self.penalty = machine.config.icache_miss_penalty
         self.write_allocate = machine.config.dcache_write_allocate
@@ -503,6 +554,15 @@ class _SegmentWriter:
         # the segment head's dynamic check has run.
         self.prev_iline: Optional[int] = None
         self.cell_stale = False
+
+    def param(self, *spec) -> str:
+        """Parameter name for a bind-time object described by ``spec``."""
+        name = self._params.get(spec)
+        if name is None:
+            name = f"_pb{len(self._params)}"
+            self._params[spec] = name
+            self.extras.append(("pb", spec))
+        return name
 
     def emit(self, line: str, indent: int = 2) -> None:
         self.lines.append("    " * indent + line)
@@ -646,6 +706,201 @@ class _SegmentWriter:
         self.emit(f"    _t.on_block({self.fname!r}, {target!r})", indent)
         self.emit(f"return _lk{n}[0] or _rs(_lk{n}, {target!r})", indent)
 
+    # -- fused instrumentation probes ------------------------------------------
+
+    def probe_read(self, addr: str, indent: int = 2) -> None:
+        """``Machine.probe_read`` traffic with the value discarded.
+
+        The simulated memory read itself is skipped: ``MemoryMap.read``
+        is a pure dictionary lookup, so dropping it changes no counter
+        and no state.
+        """
+        self.emit(f"counts[{_LOADS}] += 1", indent)
+        self.emit(f"counts[{_DC_READ}] += 1", indent)
+        self.emit(f"if not _dca({addr}):", indent)
+        self.emit(f"    counts[{_DC_READ_MISS}] += 1", indent)
+        self.emit(f"    counts[{_DC_MISS}] += 1", indent)
+        self.emit(f"    counts[{_CYCLES}] += _rmc({addr})", indent)
+        self.emit(f"    _nms({addr})", indent)
+
+    def probe_write(self, addr: str, value: str, indent: int = 2) -> None:
+        """``Machine.probe_write`` traffic: miss probe, drain, store."""
+        miss = f"_dca({addr})" if self.write_allocate else f"_dca({addr}, False)"
+        self.emit(f"counts[{_STORES}] += 1", indent)
+        self.emit(f"counts[{_DC_WRITE}] += 1", indent)
+        self.emit(f"if not {miss}:", indent)
+        self.emit(f"    counts[{_DC_WRITE_MISS}] += 1", indent)
+        self.emit(f"    counts[{_DC_MISS}] += 1", indent)
+        self.emit(f"    _nms({addr})", indent)
+        self.emit("_sbp()", indent)
+        self.emit(f"_mwr({addr}, {value})", indent)
+
+    def fuse(self, plan: Tuple, instr, index: int, addr: int, iline: int) -> None:
+        """Emit one instrumentation hook inline (plan from _fuse_plan).
+
+        Every fused body except ``CctCall`` observes counters (its
+        profiling stores drain the store buffer; PIC accesses latch
+        event counts), so pending fetch costs flush first — exactly the
+        state the simple engine has charged when the hook runs.
+        ``CctCall`` touches no counter and batches straight through.
+        """
+        self.fetch(addr, iline, instr.icost)
+        op = plan[0]
+        if op != "cct_call":
+            self.flush_costs()
+        if op == "commit":
+            self._fuse_commit(instr, plan[1])
+        elif op == "accum":
+            self._fuse_accum(instr, plan[1])
+        elif op == "edge":
+            self._fuse_edge(instr, plan[1])
+        elif op == "hwc_zero":
+            self.emit(f"{self.param('picz')}()")
+            self.emit(f"{self.param('picr')}()")
+        elif op == "hwc_save":
+            self.emit(f"_sv = {self.param('picr')}()")
+            self.emit("frame.saved_pic = _sv")
+            self.emit(f"_a = frame.base_addr + {(self.config.frame_words - 1) * WORD}")
+            self.probe_write("_a", "_sv[0]")
+        elif op == "hwc_restore":
+            self.emit(f"_a = frame.base_addr + {(self.config.frame_words - 1) * WORD}")
+            self.probe_read("_a")
+            self.emit("_sv = frame.saved_pic")
+            self.emit(f"{self.param('picw')}(_sv[0], _sv[1])")
+            self.emit(f"{self.param('picr')}()")
+        elif op == "cct_call":
+            rt = self.param("cct")
+            sh = self.param("cctsh")
+            slot = instr.slot if self.machine.cct_runtime.by_site else 0
+            self.emit(
+                f"{rt}.gcsp = (({sh}[-1].record if {sh} else "
+                f"{self.param('cctroot')}), {slot})"
+            )
+        elif op == "cct_enter":
+            self._fuse_cct_enter(instr, index)
+        elif op == "cct_exit":
+            self._fuse_cct_exit()
+        else:  # pragma: no cover - plans come from _fuse_plan
+            raise AssertionError(f"unknown fuse plan {plan!r}")
+
+    def _bump(self, tc: str, index: str, addr: str, indent: int) -> None:
+        """CounterTable.bump's in-range body: RMW traffic + dict update."""
+        self.probe_read(addr, indent)
+        self.emit(f"_v = {tc}.get({index}, 0) + 1", indent)
+        self.probe_write(addr, "_v", indent)
+        self.emit(f"{tc}[{index}] = _v", indent)
+
+    def _fuse_commit(self, instr, table) -> None:
+        tc = self.param("tblc", instr.table)
+        self.emit(f"_i = regs[{instr.reg}] + {instr.end}")
+        self.emit(f"if 0 <= _i < {table.capacity}:")
+        self.emit(f"    _a = {table.base} + _i * {table.slot_words * WORD}")
+        self._bump(tc, "_i", "_a", 3)
+        self.emit("else:")
+        self.emit(f"    {self.param('tbl', instr.table)}.out_of_range += 1")
+        if instr.reset_to is not None:
+            self.emit(f"regs[{instr.reg}] = {instr.reset_to}")
+
+    def _fuse_accum(self, instr, table) -> None:
+        tc = self.param("tblc", instr.table)
+        tm = self.param("tblm", instr.table)
+        pr = self.param("picr")
+        self.emit(f"_p = {pr}()")
+        self.emit(f"_i = regs[{instr.reg}] + {instr.end}")
+        self.emit(f"if 0 <= _i < {table.capacity}:")
+        self.emit(f"    _a = {table.base} + _i * {table.slot_words * WORD}")
+        self._bump(tc, "_i", "_a", 3)
+        self.emit(f"    _m = {tm}.get(_i)")
+        self.emit("    if _m is None:")
+        self.emit("        _m = [0, 0]")
+        self.emit(f"        {tm}[_i] = _m")
+        self.emit(f"    _a += {WORD}")
+        self.probe_read("_a", 3)
+        self.emit("    _m[0] += _p[0]")
+        self.probe_write("_a", "_m[0]", 3)
+        self.emit(f"    _a += {WORD}")
+        self.probe_read("_a", 3)
+        self.emit("    _m[1] += _p[1]")
+        self.probe_write("_a", "_m[1]", 3)
+        self.emit("else:")
+        self.emit(f"    {self.param('tbl', instr.table)}.out_of_range += 1")
+        if instr.rezero:
+            self.emit(f"{self.param('picz')}()")
+            self.emit(f"{pr}()")
+        if instr.reset_to is not None:
+            self.emit(f"regs[{instr.reg}] = {instr.reset_to}")
+
+    def _fuse_edge(self, instr, table) -> None:
+        # The edge index is a compile-time constant, so the range check
+        # and the slot address both resolve at decode time.
+        if 0 <= instr.edge < table.capacity:
+            addr = table.base + instr.edge * table.slot_words * WORD
+            self._bump(self.param("tblc", instr.table), str(instr.edge), str(addr), 2)
+        else:
+            self.emit(f"{self.param('tbl', instr.table)}.out_of_range += 1")
+
+    def _fuse_cct_enter(self, instr, index: int) -> None:
+        rt = self.param("cct")
+        sh = self.param("cctsh")
+        st = self.param("cctst")
+        collect_hw = self.machine.cct_runtime.collect_hw
+        self.emit(f"{st}.enters += 1")
+        self.emit(f"_g = {rt}.gcsp")
+        self.emit("_pnt = _g[0]")
+        self.emit("_a = _pnt.slot_addr(_g[1])")
+        self.probe_read("_a")
+        self.emit("_s = _pnt.slots[_g[1]]")
+        self.emit(f"if _s.__class__ is _CRec and _s.id == {instr.proc!r}:")
+        self.emit("    _c = _s")
+        self.emit(f"    {st}.fast_hits += 1")
+        self.emit("else:")
+        self.emit(f"    _c = {self.param('eslow', index)}(_pnt, _g[1], _a, _s)")
+        self.emit(f"_a = frame.base_addr + {GCSP_SLOT * WORD}")
+        self.probe_write("_a", "0")
+        self.emit("_e = _SE(machine.depth, _c, _g)")
+        if collect_hw:
+            self.emit(f"_p = {self.param('picr')}()")
+            self.emit("_e.pic0 = _p[0]")
+            self.emit("_e.pic1 = _p[1]")
+            self.emit(f"counts[{_INSTRS}] += 3")
+            self.emit(f"counts[{_CYCLES}] += 3")
+        self.emit(f"{sh}.append(_e)")
+        self.emit(f"_a = _c.addr + {2 * WORD}")
+        self.probe_read("_a")
+        self.emit("_m = _c.metrics")
+        self.emit("_m[0] += 1")
+        self.probe_write("_a", "_m[0]")
+
+    def _fuse_cct_exit(self) -> None:
+        rt = self.param("cct")
+        sh = self.param("cctsh")
+        collect_hw = self.machine.cct_runtime.collect_hw
+        self.emit(f"if not {sh}:")
+        self.emit('    raise RuntimeError("CCT exit with empty shadow stack")')
+        self.emit(f"_e = {sh}.pop()")
+        self.emit("if _e.depth != machine.depth:")
+        self.emit(
+            "    raise RuntimeError(f\"CCT exit at depth {machine.depth}, "
+            "expected {_e.depth}; enter/exit hooks are unbalanced\")"
+        )
+        self.emit(f"_a = frame.base_addr + {GCSP_SLOT * WORD}")
+        self.probe_read("_a")
+        self.emit(f"{rt}.gcsp = _e.saved_gcsp")
+        if collect_hw:
+            self.emit(f"_p = {self.param('picr')}()")
+            self.emit("_c = _e.record")
+            self.emit(f"_a = _c.addr + {3 * WORD}")
+            self.probe_read("_a")
+            self.emit("_m = _c.metrics")
+            self.emit(f"_m[1] += (_p[0] - _e.pic0) % {1 << 32}")
+            self.probe_write("_a", "_m[1]")
+            self.emit(f"_a += {WORD}")
+            self.probe_read("_a")
+            self.emit(f"_m[2] += (_p[1] - _e.pic1) % {1 << 32}")
+            self.probe_write("_a", "_m[2]")
+            self.emit(f"counts[{_INSTRS}] += 8")
+            self.emit(f"counts[{_CYCLES}] += 8")
+
     def handler_call(self, handler_index: int, transfers: bool) -> None:
         """Invoke a closure handler (it does its own fetch/cost work)."""
         self.flush_costs()
@@ -666,6 +921,59 @@ class _SegmentWriter:
 #: Handler kinds that always transfer control when they return.
 _TRANSFER_HANDLERS = frozenset({Kind.CALL, Kind.ICALL, Kind.RET, Kind.LONGJMP})
 
+#: Instrumentation kinds whose fusibility depends on the path runtime.
+_TABLE_KINDS = frozenset({Kind.PATH_COMMIT, Kind.HWC_ACCUM, Kind.EDGE_COUNT})
+#: CCT hooks the generator can fuse (CctProbe stays a closure: rare,
+#: and its interval restart shares no structure with enter/exit).
+_CCT_FUSED_KINDS = frozenset({Kind.CCT_ENTER, Kind.CCT_CALL, Kind.CCT_EXIT})
+_CCT_ALL_KINDS = frozenset(
+    {Kind.CCT_ENTER, Kind.CCT_CALL, Kind.CCT_EXIT, Kind.CCT_PROBE}
+)
+
+_TABLE_PLAN_OPS = {
+    Kind.PATH_COMMIT: "commit",
+    Kind.HWC_ACCUM: "accum",
+    Kind.EDGE_COUNT: "edge",
+}
+_CCT_PLAN_OPS = {
+    Kind.CCT_ENTER: "cct_enter",
+    Kind.CCT_CALL: "cct_call",
+    Kind.CCT_EXIT: "cct_exit",
+}
+
+
+def _fuse_plan(machine, instr) -> Optional[Tuple]:
+    """How to fuse ``instr`` into generated source, or None for a closure.
+
+    Array-table commits/accumulates/edge bumps fuse with their geometry
+    as literals; hash tables, per-context tables (``table == -1``) and
+    missing runtimes fall back.  PIC sequences always fuse.  CCT
+    enter/call/exit fuse when a runtime is attached (the entry slow
+    path still runs in the runtime, through a per-site closure).
+    """
+    kind = instr.kind
+    if kind == Kind.HWC_ZERO:
+        return ("hwc_zero",)
+    if kind == Kind.HWC_SAVE:
+        return ("hwc_save",)
+    if kind == Kind.HWC_RESTORE:
+        return ("hwc_restore",)
+    if kind in _TABLE_KINDS:
+        runtime = machine.path_runtime
+        if runtime is None or not 0 <= instr.table < len(runtime.tables):
+            return None
+        table = runtime.tables[instr.table]
+        if table.kind is not TableKind.ARRAY:
+            return None
+        if kind == Kind.HWC_ACCUM and table.metric_slots != 2:
+            return None
+        return (_TABLE_PLAN_OPS[kind], table)
+    if kind in _CCT_FUSED_KINDS:
+        if machine.cct_runtime is None:
+            return None
+        return (_CCT_PLAN_OPS[kind],)
+    return None
+
 
 def _config_key(config) -> Tuple:
     """The config constants baked into generated segment source."""
@@ -674,8 +982,38 @@ def _config_key(config) -> Tuple:
         config.icache_miss_penalty,
         config.mispredict_penalty,
         config.dcache_write_allocate,
+        config.frame_words,
         tuple(sorted(config.fp_latencies.items())),
     )
+
+
+def _probe_key(machine, instrs) -> Tuple:
+    """Fingerprint of everything fused probes bake into source.
+
+    Part of the block-level compile cache key: two machines share a
+    compiled block only when every instrumentation hook would fuse the
+    same way with the same literals (table geometry, CCT flags).
+    Uninstrumented blocks fingerprint to ``()`` and share universally.
+    """
+    parts = []
+    path_runtime = machine.path_runtime
+    cct_runtime = machine.cct_runtime
+    for instr in instrs:
+        kind = instr.kind
+        if kind in _TABLE_KINDS:
+            if path_runtime is None or not 0 <= instr.table < len(path_runtime.tables):
+                parts.append(("slow",))
+            else:
+                table = path_runtime.tables[instr.table]
+                parts.append(
+                    (table.kind.value, table.base, table.capacity, table.metric_slots)
+                )
+        elif kind in _CCT_ALL_KINDS:
+            if cct_runtime is None:
+                parts.append(("slow",))
+            else:
+                parts.append(("cct", cct_runtime.collect_hw, cct_runtime.by_site))
+    return tuple(parts)
 
 
 def _generate_block(machine, function, block, instrs, addrs):
@@ -726,6 +1064,15 @@ def _generate_block(machine, function, block, instrs, addrs):
             elif seg_len >= SEGMENT_CAP:
                 writer.close()
                 end()
+        elif (plan := _fuse_plan(machine, instr)) is not None:
+            # Fused instrumentation: stays inside the segment, keeps
+            # the static I-cache line tracking, flushes costs only if
+            # its body observes a counter (decided in fuse()).
+            writer.fuse(plan, instr, i, addr, iline)
+            seg_len += 1
+            if seg_len >= SEGMENT_CAP:
+                writer.close()
+                end()
         else:
             transfers = kind in _TRANSFER_HANDLERS
             writer.handler_call(i, transfers)
@@ -746,7 +1093,16 @@ def _generate_block(machine, function, block, instrs, addrs):
     # Assemble one module with a maker per segment.
     src_parts: List[str] = [f"# decoded {fname}.{block.name}"]
     for j, (start, seg_writer) in enumerate(segments):
-        params = "".join(f", _{t}{i}" for t, i in seg_writer.extras)
+        names = []
+        n_probe = 0
+        for t, v in seg_writer.extras:
+            if t == "pb":
+                # Probe params are named by first-use order (param()).
+                names.append(f", _pb{n_probe}")
+                n_probe += 1
+            else:
+                names.append(f", _{t}{v}")
+        params = "".join(names)
         src_parts.append(
             f"def _make{j}(machine, counts, _il, _ica, _dca, _mrd, _mwr, _sbp, _nms, _rmc, _prd, _rs{params}):"
         )
@@ -759,14 +1115,60 @@ def _generate_block(machine, function, block, instrs, addrs):
     return source, code, starts, seg_extras, n_links
 
 
+def _resolve_probe_spec(machine, instrs, spec):
+    """Bind one ("pb", spec) maker parameter to its runtime object."""
+    tag = spec[0]
+    if tag == "tbl":
+        return machine.path_runtime.tables[spec[1]]
+    if tag == "tblc":
+        return machine.path_runtime.tables[spec[1]].counts
+    if tag == "tblm":
+        return machine.path_runtime.tables[spec[1]].metrics
+    if tag == "picr":
+        return machine.pic.read
+    if tag == "picz":
+        return machine.pic.write_zero
+    if tag == "picw":
+        return machine.pic.write_values
+    if tag == "cct":
+        return machine.cct_runtime
+    if tag == "cctsh":
+        return machine.cct_runtime.shadow
+    if tag == "cctst":
+        return machine.cct_runtime.stats
+    if tag == "cctroot":
+        return machine.cct_runtime.root
+    if tag == "eslow":
+        instr = instrs[spec[1]]
+        runtime = machine.cct_runtime
+
+        def enter_slow(
+            parent,
+            slot_index,
+            slot_addr,
+            slot,
+            _rt=runtime,
+            _machine=machine,
+            _proc=instr.proc,
+            _nslots=instr.nslots,
+        ):
+            return _rt._enter_slow(
+                _machine, parent, slot_index, slot_addr, slot, _proc, _nslots
+            )
+
+        return enter_slow
+    raise AssertionError(f"unknown probe spec {spec!r}")  # pragma: no cover
+
+
 def decode_block(machine, function, block) -> DecodedBlock:
     """Compile one block into its step list (called once per block).
 
     The generated source and code object are cached on the block (they
-    depend only on the instruction list, the block's base address, and
-    :func:`_config_key` constants); only the per-machine binding — the
-    ``exec`` of segment makers plus the closure handlers — runs again
-    for each machine.
+    depend only on the instruction list, the block's base address,
+    :func:`_config_key` constants, and the :func:`_probe_key`
+    fingerprint of the attached runtimes); only the per-machine binding
+    — the ``exec`` of segment makers plus the closure handlers and
+    fused-probe objects — runs again for each machine.
     """
     fname = function.name
     instrs = block.instrs
@@ -774,10 +1176,11 @@ def decode_block(machine, function, block) -> DecodedBlock:
     counts = machine.counters.counts
 
     cache_key = (
-        id(instrs),
+        block.edit_gen,
         len(instrs),
         addrs[0] if addrs else 0,
         _config_key(machine.config),
+        _probe_key(machine, instrs),
     )
     cached = block._decode_cache
     if cached is not None and cached[0] == cache_key:
@@ -789,14 +1192,18 @@ def decode_block(machine, function, block) -> DecodedBlock:
         block._decode_cache = (cache_key, source, code, starts, seg_extras, n_links)
 
     line_bits = machine._icache_line_bits
-    handlers: Dict[int, Callable] = {}
-    total_icost = 0
-    for i, instr in enumerate(instrs):
-        total_icost += instr.icost
-        if instr.kind not in _INLINE_KINDS:
-            handlers[i] = _make_handler(
-                machine, counts, instr, addrs[i], addrs[i] >> line_bits, i + 1, fname
-            )
+    # Closure handlers only for the instructions the generated source
+    # actually calls (fused probes replaced the rest).
+    handler_indices = {
+        v for extras in seg_extras for t, v in extras if t == "h"
+    }
+    handlers: Dict[int, Callable] = {
+        i: _make_handler(
+            machine, counts, instrs[i], addrs[i], addrs[i] >> line_bits, i + 1, fname
+        )
+        for i in handler_indices
+    }
+    total_icost = sum(instr.icost for instr in instrs)
 
     # Per-machine successor-link cells; registered so invalidation can
     # reset them (a stale link would bypass the cache's validity check).
@@ -816,9 +1223,14 @@ def decode_block(machine, function, block) -> DecodedBlock:
     for j, start in enumerate(starts):
         maker = namespace[f"_make{j}"]
         resume[start] = j
-        extras = [
-            handlers[i] if t == "h" else cells[i] for t, i in seg_extras[j]
-        ]
+        extras = []
+        for t, v in seg_extras[j]:
+            if t == "h":
+                extras.append(handlers[v])
+            elif t == "lk":
+                extras.append(cells[v])
+            else:
+                extras.append(_resolve_probe_spec(machine, instrs, v))
         steps.append(
             maker(
                 machine,
@@ -837,7 +1249,15 @@ def decode_block(machine, function, block) -> DecodedBlock:
             )
         )
 
-    return DecodedBlock(steps, resume, id(instrs), len(instrs), total_icost, source)
+    return DecodedBlock(
+        steps,
+        resume,
+        block.edit_gen,
+        len(instrs),
+        total_icost,
+        source,
+        (machine.path_runtime, machine.cct_runtime),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -919,4 +1339,8 @@ CODEGEN_GLOBALS = {
     "_fdiv": FLOAT_OPS["fdiv"],
     "min": min,
     "max": max,
+    # Fused CCT entry protocol: the shadow-entry record and the
+    # CallRecord class for the generated tag-0 identity test.
+    "_SE": _ShadowEntry,
+    "_CRec": CallRecord,
 }

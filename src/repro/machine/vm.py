@@ -355,22 +355,34 @@ class Machine:
         return self._codegen_ns
 
     def _validate_decoded(self) -> None:
-        """Evict decoded blocks whose instruction lists changed.
+        """Evict decoded blocks that no longer match the program.
 
-        Called once per run by the fast engine; programs cannot be
-        edited mid-run, so the per-run sweep is enough for the hot
-        loop's cache hits to skip validation entirely.
+        A decoding is stale when the block's edit generation moved (any
+        :meth:`repro.ir.function.Block.note_edit` splice), the block
+        disappeared, or the machine's attached runtimes changed since
+        the fused probes bound their tables and CCT state.  Called once
+        per run by the fast engine; programs cannot be edited mid-run,
+        so the per-run sweep is enough for the hot loop's cache hits to
+        skip validation entirely.
         """
         stale = []
         functions = self.program.functions
+        runtimes = (self.path_runtime, self.cct_runtime)
         for key, decoded in self._decoded.items():
             fname, bname = key
             function = functions.get(fname)
-            block = function.block(bname) if function is not None else None
+            block = None
+            if function is not None:
+                try:
+                    block = function.block(bname)
+                except KeyError:
+                    block = None
             if (
                 block is None
-                or decoded.instrs_id != id(block.instrs)
+                or decoded.edit_gen != block.edit_gen
                 or decoded.n_instrs != len(block.instrs)
+                or decoded.runtimes[0] is not runtimes[0]
+                or decoded.runtimes[1] is not runtimes[1]
             ):
                 stale.append(key)
         for key in stale:
@@ -383,8 +395,10 @@ class Machine:
         """Fetch (or build) the decoded form of one block.
 
         Cached by ``(function, block)`` and validated against the
-        instruction list's identity and length, so splices that replace
-        or grow ``block.instrs`` re-decode automatically.
+        block's edit generation and length, so splices that replace or
+        grow ``block.instrs`` re-decode automatically.  (Generation,
+        not ``id(block.instrs)``: a rebound list can reuse the id of a
+        garbage-collected predecessor and validate a stale decoding.)
         """
         key = (function.name, block_name)
         block = function.block(block_name)
@@ -392,7 +406,7 @@ class Machine:
         decoded = self._decoded.get(key)
         if (
             decoded is not None
-            and decoded.instrs_id == id(instrs)
+            and decoded.edit_gen == block.edit_gen
             and decoded.n_instrs == len(instrs)
         ):
             return decoded
@@ -407,8 +421,12 @@ class Machine:
 
         Call after editing the program underneath a live machine (the
         supported flow — instrument first, then build the machine —
-        never needs this; the per-block identity check catches ordinary
-        :mod:`repro.edit` splices anyway).
+        never needs this; the per-block generation check catches
+        ordinary :mod:`repro.edit` splices anyway).  Bumps every
+        block's edit generation and drops its compiled-source cache, so
+        even in-place instruction mutations the editor never saw are
+        picked up — by this machine and any other simulating the same
+        program.
         """
         from repro.edit.layout import assign_layout
 
@@ -416,6 +434,10 @@ class Machine:
         for cell in self._decode_links:
             cell[0] = None
         self._decode_links.clear()
+        for function in self.program.functions.values():
+            for block in function.blocks:
+                block.note_edit()
+                block._decode_cache = None
         self.layout = assign_layout(self.program)
 
     def _run_simple(self) -> Union[int, float, None]:

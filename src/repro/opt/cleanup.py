@@ -112,6 +112,7 @@ def fold_constants(function: Function) -> int:
                 _invalidate_copies_of(copies, reg)
             rewritten.append(instr)
         block.instrs = rewritten
+        block.note_edit()
     return changes
 
 

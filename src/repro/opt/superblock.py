@@ -95,6 +95,7 @@ def form_superblock(
         if block.name == header_clone:
             continue
         _retarget(block.instrs[-1], header, header_clone)
+        block.note_edit()
 
     # 3. Straighten: merge clone pairs linked by unconditional jumps.
     jumps_straightened = 0
@@ -106,6 +107,7 @@ def form_superblock(
         if term.kind == Kind.BR and term.target == chain[position + 1]:
             follower = function.block(chain[position + 1])
             current.instrs = current.instrs[:-1] + follower.instrs
+            current.note_edit()
             function.blocks.remove(follower)
             function.invalidate_index()
             removed = chain.pop(position + 1)

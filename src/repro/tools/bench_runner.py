@@ -1,20 +1,47 @@
-"""Parallel fan-out for independent whole-workload simulations.
+"""Benchmark infrastructure: process fan-out and engine speed measurement.
 
-Every table experiment is an embarrassingly parallel loop — one
-simulated machine per workload, no shared state — so the suite can fan
-out across processes.  Opt in with ``REPRO_BENCH_JOBS=N`` (or an
-explicit ``jobs=`` argument); unset, ``0``, or ``1`` degrades to a
-plain serial loop with zero multiprocessing involvement, so the default
-behaviour (and any environment without working ``fork``) is unchanged.
+Two independent facilities live here:
 
-Workers must be module-level callables (picklable) taking one item from
-the work list; results come back in input order.
+* :func:`run_tasks` — parallel fan-out for independent whole-workload
+  simulations.  Every table experiment is an embarrassingly parallel
+  loop — one simulated machine per workload, no shared state — so the
+  suite can fan out across processes.  Opt in with
+  ``REPRO_BENCH_JOBS=N`` (or an explicit ``jobs=`` argument); unset,
+  ``0``, or ``1`` degrades to a plain serial loop with zero
+  multiprocessing involvement, so the default behaviour (and any
+  environment without working ``fork``) is unchanged.  Workers must be
+  module-level callables (picklable) taking one item from the work
+  list; results come back in input order.
+
+* :func:`measure_vm_speed` / :func:`measure_instrumented_speed` — time
+  the SPEC95-like suite under ``engine="simple"`` (the reference
+  if/elif interpreter) and ``engine="fast"`` (the predecoded block
+  engine), uninstrumented or under the three instrumented profiling
+  modes (flow+HW, context+HW, combined flow+context).  Each
+  measurement asserts the two engines agree bit-for-bit on every
+  counter, the return value, and per-region miss attribution before
+  reporting a speedup; the results back ``BENCH_vm_speed.json`` and
+  ``BENCH_instrumented_speed.json`` at the repository root.
+
+The instrumented measurement instruments each workload **once** per
+mode and reuses the instrumented program across every timed pass,
+attaching fresh (but identically shaped) runtime state per run: a
+``copy.deepcopy`` of the pristine post-instrumentation
+:class:`~repro.instrument.tables.ProfilingRuntime` and/or a new
+:class:`~repro.cct.runtime.CCTRuntime` at the same base address.  The
+fast engine's compiled-source cache keys on table geometry *values*,
+not runtime identity, so warm passes genuinely reuse compiled blocks —
+the regime every real experiment runs in.  Runtime construction and
+machine setup happen outside the timed window; only simulation time is
+reported.
 """
 
 from __future__ import annotations
 
+import copy
 import os
-from typing import Callable, List, Optional, Sequence, TypeVar
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -57,3 +84,193 @@ def run_tasks(
     jobs = min(jobs, len(items))
     with ctx.Pool(processes=jobs) as pool:
         return pool.map(worker, items)
+
+
+# ---------------------------------------------------------------------------
+# Engine speed measurement (BENCH_vm_speed / BENCH_instrumented_speed)
+# ---------------------------------------------------------------------------
+
+#: Instrumented profiling modes measured by default, in report order.
+INSTRUMENTED_MODES = ("flow_hw", "context_hw", "context_flow")
+
+
+def prepare_instrumented(program, mode: str):
+    """Instrument a clone of ``program`` once for ``mode``.
+
+    Returns ``(target, fresh)`` where ``target`` is the instrumented
+    program (shared by every pass, so the fast engine's per-block
+    compiled-source cache stays warm) and ``fresh()`` builds a new
+    ``(path_runtime, cct_runtime)`` pair for one run: empty counters,
+    identical table geometry and base addresses.
+    """
+    from repro.cct.runtime import CCTRuntime
+    from repro.instrument.cctinstr import instrument_context
+    from repro.instrument.pathinstr import instrument_paths
+    from repro.instrument.tables import ProfilingRuntime
+    from repro.machine.memory import MemoryMap
+    from repro.tools.pp import clone_program
+
+    target = clone_program(program)
+    cct_base = MemoryMap().cct.base
+    if mode == "flow_hw":
+        pristine = ProfilingRuntime(MemoryMap().profiling.base)
+        instrument_paths(target, mode="hw", placement="spanning_tree", runtime=pristine)
+
+        def fresh():
+            return copy.deepcopy(pristine), None
+
+    elif mode == "context_hw":
+        instrument_context(target)
+
+        def fresh():
+            return None, CCTRuntime(cct_base, collect_hw=True, by_site=True)
+
+    elif mode == "context_flow":
+        pristine = ProfilingRuntime(MemoryMap().profiling.base)
+        # Flow first so path commits precede CctExit (see cctinstr).
+        instrument_paths(
+            target,
+            mode="freq",
+            placement="spanning_tree",
+            runtime=pristine,
+            per_context=True,
+        )
+        instrument_context(target)
+
+        def fresh():
+            runtime = copy.deepcopy(pristine)
+            cct = CCTRuntime(
+                cct_base, collect_hw=False, profiling=runtime, by_site=True
+            )
+            return runtime, cct
+
+    else:
+        raise ValueError(f"unknown instrumented mode {mode!r}")
+    return target, fresh
+
+
+def _suite_pass(machines) -> Tuple[int, float, list]:
+    """Run prepared ``(name, machine)`` pairs; time only ``run()``.
+
+    Returns ``(total instructions, seconds, per-run facts)`` where the
+    facts — counters, return value, region misses — are what engine
+    equality is asserted on.
+    """
+    total_instructions = 0
+    elapsed = 0.0
+    facts = []
+    for name, machine in machines:
+        start = time.perf_counter()
+        result = machine.run()
+        elapsed += time.perf_counter() - start
+        total_instructions += result.instructions
+        facts.append((name, result.counters, result.return_value, result.region_misses))
+    return total_instructions, elapsed, facts
+
+
+def _best_pass(n: int, fn) -> Tuple[int, float, list]:
+    """Minimum wall time over ``n`` passes (noise floor, not average)."""
+    best = None
+    for _ in range(n):
+        instructions, elapsed, facts = fn()
+        if best is None or elapsed < best[1]:
+            best = (instructions, elapsed, facts)
+    return best
+
+
+def measure_engine_speed(make_pass: Callable[[str], Iterable]) -> Dict:
+    """Simple vs fast engine timings over one suite configuration.
+
+    ``make_pass(engine)`` yields ``(name, ready-to-run Machine)`` pairs
+    and is called once per pass (fresh machines, fresh runtime state).
+    The simple engine and the warm fast engine run best-of-two; the
+    cold fast pass (first decode + compile) is timed once.  Raises
+    ``AssertionError`` unless all passes produced identical facts.
+    """
+    simple_i, simple_t, simple_facts = _best_pass(
+        2, lambda: _suite_pass(make_pass("simple"))
+    )
+    cold_i, cold_t, cold_facts = _suite_pass(make_pass("fast"))
+    warm_i, warm_t, warm_facts = _best_pass(2, lambda: _suite_pass(make_pass("fast")))
+    if not (simple_facts == cold_facts == warm_facts):
+        diverging = [
+            fact[0]
+            for fact, cold, warm in zip(simple_facts, cold_facts, warm_facts)
+            if not (fact == cold == warm)
+        ]
+        raise AssertionError(f"engines disagree on run facts: {diverging}")
+    return {
+        "simulated_instructions": simple_i,
+        "simple": {
+            "seconds": round(simple_t, 4),
+            "instructions_per_second": round(simple_i / simple_t),
+        },
+        "fast_cold": {
+            "seconds": round(cold_t, 4),
+            "instructions_per_second": round(cold_i / cold_t),
+        },
+        "fast_warm": {
+            "seconds": round(warm_t, 4),
+            "instructions_per_second": round(warm_i / warm_t),
+        },
+        "speedup_cold": round(simple_t / cold_t, 2),
+        "speedup_warm": round(simple_t / warm_t, 2),
+    }
+
+
+def _build_suite(scale: float, names: Optional[Sequence[str]]) -> Dict:
+    from repro.workloads.suite import build_workload, workload_names
+
+    if names is None:
+        names = workload_names("SPEC95")
+    return {name: build_workload(name, scale) for name in names}
+
+
+def measure_vm_speed(scale: float, names: Optional[Sequence[str]] = None) -> Dict:
+    """Uninstrumented suite throughput, simple vs fast engine."""
+    from repro.machine.vm import Machine
+
+    programs = _build_suite(scale, names)
+
+    def make_pass(engine):
+        return ((name, Machine(program, engine=engine)) for name, program in programs.items())
+
+    payload = {"scale": scale, "workloads": len(programs)}
+    payload.update(measure_engine_speed(make_pass))
+    return payload
+
+
+def measure_instrumented_speed(
+    scale: float,
+    names: Optional[Sequence[str]] = None,
+    modes: Sequence[str] = INSTRUMENTED_MODES,
+) -> Dict:
+    """Instrumented suite throughput per profiling mode, both engines.
+
+    The headline number (``speedup_warm_flow``, the gate in
+    ``BENCH_instrumented_speed.json``) is the warm fast-engine speedup
+    on the flow-instrumented suite — the mode where every profiling
+    hook fuses into generated code.  Combined mode's per-context path
+    tables (``table == -1``) keep the closure fallback, so its speedup
+    reflects fused CCT hooks only.
+    """
+    from repro.machine.vm import Machine
+
+    programs = _build_suite(scale, names)
+    payload: Dict = {"scale": scale, "workloads": len(programs), "modes": {}}
+    for mode in modes:
+        prepared = [
+            (name, *prepare_instrumented(program, mode))
+            for name, program in programs.items()
+        ]
+
+        def make_pass(engine, prepared=prepared):
+            for name, target, fresh in prepared:
+                machine = Machine(target, engine=engine)
+                machine.path_runtime, machine.cct_runtime = fresh()
+                yield name, machine
+
+        payload["modes"][mode] = measure_engine_speed(make_pass)
+    if "flow_hw" in payload["modes"]:
+        payload["speedup_warm_flow"] = payload["modes"]["flow_hw"]["speedup_warm"]
+    return payload

@@ -127,6 +127,79 @@ class TestTable:
         assert "130.li" in out
 
 
+class TestBench:
+    def test_instrumented_bench_writes_gate_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_instrumented_speed.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--instrumented",
+                    "--scale",
+                    "0.1",
+                    "--workloads",
+                    "129.compress",
+                    "--check-only",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "instrumented suite throughput" in printed
+        payload = json.loads(out.read_text())
+        assert set(payload["modes"]) == {"flow_hw", "context_hw", "context_flow"}
+        assert payload["check_only"] is True
+        for data in payload["modes"].values():
+            assert data["simple"]["seconds"] > 0
+            assert data["fast_warm"]["seconds"] > 0
+
+    def test_uninstrumented_bench_writes_gate_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_vm_speed.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--scale",
+                    "0.1",
+                    "--workloads",
+                    "129.compress",
+                    "--check-only",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(out.read_text())
+        assert payload["workloads"] == 1
+        assert payload["simulated_instructions"] > 0
+
+    def test_unreachable_minimum_fails(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "bench",
+                    "--scale",
+                    "0.1",
+                    "--workloads",
+                    "129.compress",
+                    "--min",
+                    "1000",
+                    "--out",
+                    str(tmp_path / "out.json"),
+                ]
+            )
+            == 1
+        )
+        assert "FAIL" in capsys.readouterr().out
+
+
 class TestContextRenderFlags:
     def test_tree_output(self, source_file, capsys):
         assert main(["context", source_file, "1", "--tree"]) == 0

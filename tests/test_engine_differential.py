@@ -2,13 +2,17 @@
 
 For every SPEC95-like workload, run the simulator under both
 ``engine="simple"`` (the reference if/elif interpreter) and
-``engine="fast"`` (the predecoded block engine) in three
+``engine="fast"`` (the predecoded block engine) in four
 configurations — uninstrumented, path-instrumented ("Flow and HW"),
-and CCT-instrumented ("Context and HW") — and require bit-identical
-counter snapshots, return values, and per-region miss attribution.
+CCT-instrumented ("Context and HW"), and combined flow+context — and
+require bit-identical counter snapshots, return values, per-region
+miss attribution, path profiles (counts *and* per-path metrics), and
+exact CCT state (:func:`~repro.cct.merge.strict_form`: every record,
+slot, address, and serialized byte).
 
-This is the acceptance gate for the engine: any divergence in any of
-the sixteen counters on any workload is a bug in the fast engine.
+This is the acceptance gate for the engine's fused instrumentation
+probes: any divergence in any of the sixteen counters, any path
+count, or any CCT record on any workload is a bug in the fast engine.
 """
 
 import dataclasses
@@ -32,6 +36,19 @@ def _facts(run):
     )
 
 
+def _profile_facts(run):
+    """Everything a profiling run collected, in comparable form."""
+    facts = {}
+    if run.path_profile is not None:
+        facts["paths"] = {
+            fname: (dict(fpp.counts), {k: list(v) for k, v in fpp.metrics.items()})
+            for fname, fpp in run.path_profile.functions.items()
+        }
+    if run.cct is not None:
+        facts["cct"] = strict_form(run.cct)
+    return facts
+
+
 def _assert_identical(name, config, simple_run, fast_run):
     simple_counters, simple_rv, simple_rm = _facts(simple_run)
     fast_counters, fast_rv, fast_rm = _facts(fast_run)
@@ -43,6 +60,18 @@ def _assert_identical(name, config, simple_run, fast_run):
     assert not diverging, f"{name}/{config}: counter divergence {diverging}"
     assert simple_rv == fast_rv, f"{name}/{config}: return value"
     assert simple_rm == fast_rm, f"{name}/{config}: region misses"
+    simple_profiles = _profile_facts(simple_run)
+    fast_profiles = _profile_facts(fast_run)
+    assert simple_profiles.get("paths") == fast_profiles.get("paths"), (
+        f"{name}/{config}: path profiles diverge"
+    )
+    assert simple_profiles.get("cct") == fast_profiles.get("cct"), (
+        f"{name}/{config}: CCT state diverges"
+    )
+
+
+#: Every instrumented profiling configuration of Table 1.
+MODES = ("flow_hw", "context_hw", "context_flow")
 
 
 @pytest.mark.parametrize("name", SPEC95)
@@ -52,10 +81,10 @@ def test_engines_agree(name):
     fast = PP(engine="fast")
 
     _assert_identical(name, "base", simple.baseline(program), fast.baseline(program))
-    _assert_identical(name, "flow_hw", simple.flow_hw(program), fast.flow_hw(program))
-    _assert_identical(
-        name, "context_hw", simple.context_hw(program), fast.context_hw(program)
-    )
+    for mode in MODES:
+        _assert_identical(
+            name, mode, getattr(simple, mode)(program), getattr(fast, mode)(program)
+        )
 
 
 @pytest.mark.parametrize("name", SPEC95)
