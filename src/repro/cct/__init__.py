@@ -33,12 +33,13 @@ from repro.cct.dct import (
 )
 from repro.cct.stats import cct_statistics, CCTStatistics
 from repro.cct.gprof import GprofProfile, PairProfile, gprof_attribution, pair_attribution
-from repro.cct.serialize import load_cct, save_cct
+from repro.cct.serialize import CCTLoadError, file_digest, load_cct, save_cct
 from repro.cct.dag import CompactedDag, compact_dag, dag_statistics
 from repro.cct.merge import (
     MergedCCT,
     MergeError,
     canonical_form,
+    cct_digest,
     cct_equivalent,
     empty_cct,
     merge_ccts,
@@ -46,10 +47,12 @@ from repro.cct.merge import (
 )
 
 __all__ = [
+    "CCTLoadError",
     "CCTRuntime",
     "MergeError",
     "MergedCCT",
     "canonical_form",
+    "cct_digest",
     "cct_equivalent",
     "empty_cct",
     "merge_ccts",
@@ -68,6 +71,7 @@ __all__ = [
     "GprofProfile",
     "PairProfile",
     "cct_statistics",
+    "file_digest",
     "gprof_attribution",
     "load_cct",
     "pair_attribution",

@@ -42,6 +42,7 @@ sharding use case) deliver signals identically in every shard.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cct.records import ROOT_ID, CalleeList, CallRecord, ListNode
@@ -321,6 +322,18 @@ def cct_equivalent(first, second) -> bool:
     return canonical_form(first) == canonical_form(second)
 
 
+def cct_digest(cct) -> str:
+    """SHA-256 over the :func:`strict_form` of a CCT.
+
+    A content digest of the *logical* tree (records, slots, addresses,
+    tables, heap bytes) rather than of any particular file encoding:
+    two dumps of the same aggregate digest identically even if the
+    JSON bytes differ.  The shard runner's manifests and run logs use
+    this as the merge-determinism witness.
+    """
+    return hashlib.sha256(repr(strict_form(cct)).encode()).hexdigest()
+
+
 def strict_form(cct) -> tuple:
     """An exact description, including every serialized byte of state.
 
@@ -367,6 +380,7 @@ __all__ = [
     "MergeError",
     "MergedCCT",
     "canonical_form",
+    "cct_digest",
     "cct_equivalent",
     "empty_cct",
     "merge_ccts",

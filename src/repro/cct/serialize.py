@@ -10,11 +10,36 @@ all the analysis/statistics code.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from typing import Dict, List
 
 from repro.cct.records import CalleeList, CallRecord, ListNode
 from repro.instrument.tables import CounterTable, TableKind
+
+
+class CCTLoadError(ValueError):
+    """A CCT dump is missing, corrupt, or not a CCT dump at all.
+
+    Carries the offending ``path`` so callers (the shard runner, the
+    CLI) can report *which* checkpoint is damaged instead of leaking a
+    raw JSON/KeyError traceback from deep inside reconstruction.
+    """
+
+    def __init__(self, path: str, reason: str):
+        super().__init__(f"{path}: {reason}")
+        self.path = path
+        self.reason = reason
+
+
+def file_digest(path: str) -> str:
+    """SHA-256 of a file's bytes — the checkpoint integrity witness."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def _slot_json(slot, index_of: Dict[int, int]):
@@ -52,6 +77,11 @@ def save_cct(runtime, path: str) -> None:
     ``heap_bytes()`` — a live :class:`CCTRuntime`, a reloaded
     :class:`LoadedCCT`, or a :class:`~repro.cct.merge.MergedCCT`
     aggregate (which is how shard workers ship their merged trees).
+
+    The write is atomic: the payload goes to a same-directory temp
+    file which is then renamed over ``path``, so a reader never sees a
+    half-written dump and a crash mid-write leaves any previous
+    checkpoint intact.
     """
     index_of = {id(record): i for i, record in enumerate(runtime.records)}
     records = []
@@ -75,8 +105,14 @@ def save_cct(runtime, path: str) -> None:
         "root": index_of[id(runtime.root)],
         "records": records,
     }
-    with open(path, "w") as handle:
-        json.dump(payload, handle)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
 
 
 class LoadedCCT:
@@ -92,11 +128,31 @@ class LoadedCCT:
 
 
 def load_cct(path: str) -> LoadedCCT:
-    """Reconstruct a CCT written by :func:`save_cct`."""
-    with open(path) as handle:
-        payload = json.load(handle)
-    if payload.get("format") != "repro-cct-v1":
-        raise ValueError(f"{path}: not a repro CCT file")
+    """Reconstruct a CCT written by :func:`save_cct`.
+
+    Raises :class:`CCTLoadError` (naming ``path``) when the file is
+    missing, truncated, not JSON, or structurally not a CCT dump —
+    partial shard checkpoints must surface as a typed, reportable
+    condition, not a raw parse traceback.
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise CCTLoadError(path, f"cannot read CCT dump ({exc})") from exc
+    except json.JSONDecodeError as exc:
+        raise CCTLoadError(path, f"truncated or corrupt CCT dump ({exc})") from exc
+    if not isinstance(payload, dict) or payload.get("format") != "repro-cct-v1":
+        raise CCTLoadError(path, "not a repro CCT file")
+    try:
+        return _reconstruct(path, payload)
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise CCTLoadError(
+            path, f"malformed CCT dump ({type(exc).__name__}: {exc})"
+        ) from exc
+
+
+def _reconstruct(path: str, payload: dict) -> LoadedCCT:
     raw_records = payload["records"]
     records: List[CallRecord] = []
     for raw in raw_records:

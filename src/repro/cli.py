@@ -8,7 +8,10 @@ Commands:
 * ``combined FILE`` — flow+context; optionally save the CCT;
 * ``coverage FILE`` — path coverage with untested paths;
 * ``shard-run FILE`` — split an input set across forked workers and
-  merge the per-shard profiles into one aggregate;
+  merge the per-shard profiles into one aggregate; checkpoints, a run
+  manifest, and a JSONL run log land in ``--keep``, failed workers are
+  retried (``--max-retries``/``--timeout``), and ``--resume MANIFEST``
+  finishes an interrupted run;
 * ``table N`` — regenerate one of the paper's tables over the suite
   (Table 3 optionally through the sharded driver);
 * ``bench [--instrumented]`` — engine throughput over the suite,
@@ -275,26 +278,45 @@ def _parse_input_sets(raw: str) -> list:
 def cmd_shard_run(args) -> int:
     from repro.cct.stats import cct_statistics
     from repro.profiles.hotpaths import classify_paths
-    from repro.tools.shard_runner import ShardSpec, shard_run
+    from repro.tools.shard_runner import ShardSpec, resume_run, shard_run
 
-    with open(args.file) as handle:
-        text = handle.read()
-    inputs = (
-        _parse_input_sets(args.inputs)
-        if args.inputs is not None
-        else [tuple(_int_args(args.args))]
-    )
-    spec = ShardSpec(
-        source=None if args.file.endswith(".asm") else text,
-        asm=text if args.file.endswith(".asm") else None,
-        inputs=inputs,
-        mode=_SHARD_MODES[args.mode],
-    )
-    outcome = shard_run(spec, args.shards, workdir=args.keep)
-    print(
-        f"{len(inputs)} inputs over {args.shards} shards "
-        f"({args.mode}); results: {outcome.return_values}"
-    )
+    if args.resume:
+        outcome = resume_run(
+            args.resume, max_retries=args.max_retries
+        )
+        mode_label = {v: k for k, v in _SHARD_MODES.items()}[outcome.spec.mode]
+        print(
+            f"resumed {len(outcome.spec.inputs)} inputs over {outcome.shards} "
+            f"shards ({mode_label}); results: {outcome.return_values}"
+        )
+    else:
+        if not args.file:
+            raise SystemExit("shard-run: FILE required unless --resume is given")
+        with open(args.file) as handle:
+            text = handle.read()
+        inputs = (
+            _parse_input_sets(args.inputs)
+            if args.inputs is not None
+            else [tuple(_int_args(args.args))]
+        )
+        spec = ShardSpec(
+            source=None if args.file.endswith(".asm") else text,
+            asm=text if args.file.endswith(".asm") else None,
+            inputs=inputs,
+            mode=_SHARD_MODES[args.mode],
+            timeout=args.timeout,
+            backoff=args.backoff,
+        )
+        outcome = shard_run(
+            spec,
+            args.shards,
+            workdir=args.keep,
+            max_retries=args.max_retries,
+        )
+        print(
+            f"{len(inputs)} inputs over {args.shards} shards "
+            f"({args.mode}); results: {outcome.return_values}"
+        )
     rows = [
         {"Event": event.name, "Count": count}
         for event, count in outcome.counters.items()
@@ -341,8 +363,11 @@ def cmd_shard_run(args) -> int:
                 title=f"merged paths ({report.hot.num} hot of {report.total_paths})",
             )
         )
-    if args.keep:
-        print(f"shard CCT dumps kept under {args.keep}")
+    if outcome.manifest_path:
+        print(
+            f"shard checkpoints, run log, and manifest kept at "
+            f"{outcome.manifest_path}"
+        )
     return 0
 
 
@@ -474,7 +499,9 @@ def build_parser() -> argparse.ArgumentParser:
         "shard-run",
         help="split an input set across forked workers, merge the profiles",
     )
-    shard.add_argument("file", help="mini-language source or .asm file")
+    shard.add_argument(
+        "file", nargs="?", help="mini-language source or .asm file"
+    )
     shard.add_argument("args", nargs="*", help="single input: args to main")
     shard.add_argument("--shards", type=int, default=2, help="worker count")
     shard.add_argument(
@@ -488,7 +515,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="profiling configuration to run and merge",
     )
     shard.add_argument("--limit", type=int, default=25, help="max rows printed")
-    shard.add_argument("--keep", help="directory to keep per-shard CCT dumps")
+    shard.add_argument(
+        "--keep",
+        help="directory to keep shard checkpoints, manifest, and run log",
+    )
+    shard.add_argument(
+        "--resume",
+        metavar="MANIFEST",
+        help="finish an interrupted run from its manifest.json "
+        "(re-executes only missing/corrupt shards)",
+    )
+    shard.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="extra attempts per failed/hung/corrupt shard (default: 2)",
+    )
+    shard.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="seconds before a hung worker is killed and retried",
+    )
+    shard.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        help="base retry backoff in seconds (doubles per attempt)",
+    )
     shard.set_defaults(fn=cmd_shard_run)
 
     diff = sub.add_parser(
@@ -544,9 +598,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.cct.serialize import CCTLoadError
+    from repro.tools.shard_runner import ShardCheckpointError, ShardRunError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except (CCTLoadError, ShardCheckpointError, ShardRunError) as exc:
+        # Corrupt dumps and exhausted shard retries are expected
+        # operational conditions: one line naming the offending path,
+        # not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -76,6 +76,51 @@ def merge_path_profiles(profiles: Sequence[PathProfile]) -> PathProfile:
     return merged
 
 
+# -- JSON round-trips for shard checkpoints ----------------------------------
+#
+# Shard workers checkpoint their flat flow data (per-function sparse
+# count and metric maps) as JSON; JSON object keys are strings, so the
+# integer path sums need an explicit round trip.  Kept here, next to
+# the merge they feed, so the checkpoint format and the merge shape
+# can't drift apart.
+
+
+def counts_to_json(per_function: Dict[str, Dict[int, int]]) -> Dict[str, Dict[str, int]]:
+    """``{fn: {path_sum: count}}`` with JSON-safe (string) keys."""
+    return {
+        name: {str(key): count for key, count in counts.items()}
+        for name, counts in per_function.items()
+    }
+
+
+def counts_from_json(raw: Dict[str, Dict[str, int]]) -> Dict[str, Dict[int, int]]:
+    """Inverse of :func:`counts_to_json` (keys back to ``int``)."""
+    return {
+        name: {int(key): count for key, count in counts.items()}
+        for name, counts in raw.items()
+    }
+
+
+def metric_maps_to_json(
+    per_function: Dict[str, Dict[int, List[int]]],
+) -> Dict[str, Dict[str, List[int]]]:
+    """``{fn: {path_sum: [metrics...]}}`` with JSON-safe keys."""
+    return {
+        name: {str(key): list(values) for key, values in metrics.items()}
+        for name, metrics in per_function.items()
+    }
+
+
+def metric_maps_from_json(
+    raw: Dict[str, Dict[str, List[int]]],
+) -> Dict[str, Dict[int, List[int]]]:
+    """Inverse of :func:`metric_maps_to_json`."""
+    return {
+        name: {int(key): list(values) for key, values in metrics.items()}
+        for name, metrics in raw.items()
+    }
+
+
 def merge_edge_profiles(
     per_run: Sequence[Dict[str, Dict[int, int]]],
 ) -> Dict[str, Dict[int, int]]:
@@ -90,8 +135,12 @@ def merge_edge_profiles(
 
 __all__ = [
     "ProfileMergeError",
+    "counts_from_json",
+    "counts_to_json",
     "merge_counts",
     "merge_edge_profiles",
     "merge_metric_maps",
     "merge_path_profiles",
+    "metric_maps_from_json",
+    "metric_maps_to_json",
 ]

@@ -1,6 +1,6 @@
 """Benchmark infrastructure: process fan-out and engine speed measurement.
 
-Two independent facilities live here:
+Three independent facilities live here:
 
 * :func:`run_tasks` — parallel fan-out for independent whole-workload
   simulations.  Every table experiment is an embarrassingly parallel
@@ -12,6 +12,13 @@ Two independent facilities live here:
   environment without working ``fork``) is unchanged.  Workers must be
   module-level callables (picklable) taking one item from the work
   list; results come back in input order.
+
+* :func:`run_supervised` — fault-aware fan-out for workers that may
+  crash, hang, or be killed: one forked process per item, bounded
+  concurrency, per-process timeouts, and a :class:`ProcessOutcome`
+  (exit code, timed-out flag, wall time) per item instead of a return
+  value.  The sharded profiling driver builds its retry/resume logic
+  on this.
 
 * :func:`measure_vm_speed` / :func:`measure_instrumented_speed` — time
   the SPEC95-like suite under ``engine="simple"`` (the reference
@@ -41,6 +48,7 @@ from __future__ import annotations
 import copy
 import os
 import time
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
@@ -84,6 +92,84 @@ def run_tasks(
     jobs = min(jobs, len(items))
     with ctx.Pool(processes=jobs) as pool:
         return pool.map(worker, items)
+
+
+@dataclass
+class ProcessOutcome:
+    """How one supervised worker process ended."""
+
+    index: int
+    exitcode: Optional[int]
+    timed_out: bool
+    seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return self.exitcode == 0 and not self.timed_out
+
+
+def run_supervised(
+    worker: Callable[[T], None],
+    items: Sequence[T],
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    poll: float = 0.005,
+    on_start: Optional[Callable[[int, int], None]] = None,
+) -> List[ProcessOutcome]:
+    """Fork one *supervised* process per item; report how each ended.
+
+    Unlike :func:`run_tasks` (a ``Pool.map`` that hangs forever if a
+    worker is SIGKILLed and propagates nothing about timeouts), this
+    runner exists for workers that are *expected* to die: each item
+    gets its own forked process, at most ``jobs`` run concurrently,
+    and any process still alive ``timeout`` seconds after its start is
+    killed and reported as timed out.  Workers communicate results via
+    side effects only (checkpoint files); the supervisor reads nothing
+    from them but their exit code.
+
+    ``on_start(index, pid)`` is invoked as each worker launches (for
+    run logs).  Outcomes come back in item order.
+    """
+    import multiprocessing
+
+    items = list(items)
+    if jobs is None or jobs <= 0:
+        jobs = len(items) or 1
+    ctx = multiprocessing.get_context("fork")
+    outcomes: List[Optional[ProcessOutcome]] = [None] * len(items)
+    pending = list(range(len(items)))
+    running: Dict[int, Tuple[object, float, Optional[float]]] = {}
+    while pending or running:
+        while pending and len(running) < jobs:
+            index = pending.pop(0)
+            process = ctx.Process(target=worker, args=(items[index],))
+            process.start()
+            started = time.perf_counter()
+            deadline = None if timeout is None else started + timeout
+            running[index] = (process, started, deadline)
+            if on_start is not None:
+                on_start(index, process.pid)
+        finished = []
+        now = time.perf_counter()
+        for index, (process, started, deadline) in running.items():
+            if not process.is_alive():
+                process.join()
+                outcomes[index] = ProcessOutcome(
+                    index, process.exitcode, False, now - started
+                )
+                finished.append(index)
+            elif deadline is not None and now >= deadline:
+                process.kill()
+                process.join()
+                outcomes[index] = ProcessOutcome(
+                    index, process.exitcode, True, now - started
+                )
+                finished.append(index)
+        for index in finished:
+            del running[index]
+        if running and not finished:
+            time.sleep(poll)
+    return [outcome for outcome in outcomes if outcome is not None]
 
 
 # ---------------------------------------------------------------------------

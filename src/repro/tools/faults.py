@@ -1,0 +1,115 @@
+"""Fault injection for the sharded profiling driver.
+
+Production profile collection treats partial or failed collection as
+the common case: workers get OOM-killed, machines hang, dumps are cut
+short by full disks.  To test the shard runner's recovery paths the
+same way every time, a :class:`FaultPlan` deterministically injures
+exactly one shard at a well-defined point of its execution:
+
+* ``kill`` — the worker SIGKILLs itself mid-run (after half its
+  inputs), simulating an external kill with per-run state lost;
+* ``hang`` — the worker stops making progress mid-run until the
+  parent's shard ``timeout`` fires and it is killed;
+* ``truncate`` — the worker completes, writes its checkpoint, then
+  truncates its CCT dump, simulating a torn write that slipped past
+  the atomic rename (e.g. a disk filling up mid-flush).
+
+A plan fires **once per working directory**: before injuring itself
+the worker drops a ``fault-N.fired`` marker, so the retried (or
+resumed) attempt runs clean.  That single-shot discipline is what
+lets the fault tests assert that *recovery*, not luck, produced the
+byte-identical merge.
+
+Plans come from two seams: an explicit :class:`FaultPlan` handed to
+``shard_run``/``resume_run`` (tests), or the ``REPRO_FAULT_PLAN``
+environment variable (CLI experiments), spelled ``kind:shard`` with
+an optional ``:point`` suffix — e.g. ``kill:1`` or
+``truncate:0:after_dump``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+#: Supported injuries and the execution points where they apply.
+FAULT_KINDS = ("kill", "hang", "truncate")
+FAULT_POINTS = ("mid_run", "after_dump")
+
+#: Environment seam read by forked workers (parent env propagates).
+FAULT_ENV = "REPRO_FAULT_PLAN"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One deterministic injury: ``kind`` at ``point`` of shard ``shard``."""
+
+    kind: str
+    shard: int
+    point: str = "mid_run"
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; options: {FAULT_KINDS}")
+        if self.point not in FAULT_POINTS:
+            raise ValueError(
+                f"unknown fault point {self.point!r}; options: {FAULT_POINTS}"
+            )
+        if self.kind == "truncate" and self.point != "after_dump":
+            object.__setattr__(self, "point", "after_dump")
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """``"kill:1"`` or ``"truncate:0:after_dump"`` -> a plan."""
+        parts = text.strip().split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(f"fault plan {text!r}: expected kind:shard[:point]")
+        kind, shard = parts[0], int(parts[1])
+        point = parts[2] if len(parts) == 3 else (
+            "after_dump" if kind == "truncate" else "mid_run"
+        )
+        return cls(kind, shard, point)
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        raw = os.environ.get(FAULT_ENV, "").strip()
+        return cls.parse(raw) if raw else None
+
+    # -- firing --------------------------------------------------------------
+
+    def _marker(self, workdir: str) -> str:
+        return os.path.join(workdir, f"fault-{self.shard}.fired")
+
+    def fired(self, workdir: str) -> bool:
+        """Has this plan already injured a worker under ``workdir``?"""
+        return os.path.exists(self._marker(workdir))
+
+    def maybe_fire(
+        self, workdir: str, shard: int, point: str, dump_path: Optional[str] = None
+    ) -> None:
+        """Injure the calling worker if the plan targets this spot.
+
+        Called from inside worker processes at each instrumented point.
+        The marker file is written *before* the injury so the injury is
+        single-shot even when it kills the process on the next line.
+        """
+        if shard != self.shard or point != self.point or self.fired(workdir):
+            return
+        with open(self._marker(workdir), "w") as handle:
+            handle.write(f"{self.kind}:{self.shard}:{self.point}\n")
+        if self.kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif self.kind == "hang":
+            # Sleep far past any test timeout; the parent kills us.
+            while True:  # pragma: no cover - killed externally
+                time.sleep(60.0)
+        elif self.kind == "truncate" and dump_path and os.path.exists(dump_path):
+            size = os.path.getsize(dump_path)
+            with open(dump_path, "r+b") as handle:
+                handle.truncate(max(size // 2, 1))
+
+
+__all__ = ["FAULT_ENV", "FAULT_KINDS", "FAULT_POINTS", "FaultPlan"]

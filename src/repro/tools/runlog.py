@@ -1,0 +1,78 @@
+"""Structured JSONL logging for sharded profiling runs.
+
+Long collection runs need post-mortem observability: which shard was
+retried, why, how many attempts it took, and what digest the merge
+consumed.  The shard runner appends one JSON object per event to a
+``run.log.jsonl`` file next to the shard checkpoints, so a crashed or
+resumed run carries its full history in the working directory.
+
+Events share a small envelope — ``seq`` (monotonic per writer),
+``ts`` (Unix seconds), ``event`` — plus event-specific fields:
+
+========================  ====================================================
+``run_start``             ``shards``, ``inputs``, ``mode``, ``resume``
+``shard_start``           ``shard``, ``attempt``, ``pid``
+``shard_exit``            ``shard``, ``attempt``, ``exitcode``, ``timed_out``,
+                          ``seconds``
+``shard_corrupt``         ``shard``, ``attempt``, ``reason``
+``shard_retry``           ``shard``, ``next_attempt``, ``delay``
+``shard_done``            ``shard``, ``attempt``, ``digest``
+``merge``                 ``shards_merged``, ``cct_digest``
+``run_complete``          ``shards``
+``run_failed``            ``shard``, ``attempts``, ``reason``
+========================  ====================================================
+
+The log is append-only and written by the parent process only, so
+lines never interleave.  A ``RunLog(None)`` swallows events, keeping
+call sites unconditional.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Iterator, List, Optional
+
+
+class RunLog:
+    """Append-only JSONL event log (no-op when ``path`` is ``None``)."""
+
+    def __init__(self, path: Optional[str]):
+        self.path = path
+        self._seq = 0
+
+    def emit(self, event: str, **fields) -> None:
+        if self.path is None:
+            return
+        record = {"seq": self._seq, "ts": round(time.time(), 3), "event": event}
+        record.update(fields)
+        self._seq += 1
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def read_run_log(path: str) -> List[dict]:
+    """Parse a run log back into event dicts (skipping torn tails).
+
+    A crash can leave a partial final line; tolerate it — the log is
+    observability, not a source of truth (the checkpoints are).
+    """
+    events: List[dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                break
+    return events
+
+
+def events_of(path: str, kind: str) -> Iterator[dict]:
+    """The events of one kind, in log order."""
+    return (event for event in read_run_log(path) if event.get("event") == kind)
+
+
+__all__ = ["RunLog", "events_of", "read_run_log"]

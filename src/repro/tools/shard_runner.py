@@ -5,46 +5,104 @@ shards of an input set concurrently and *aggregating* their profiles —
 the same problem PGO systems solve when combining per-process
 hardware-counter dumps.  The driver here:
 
-1. splits the input set round-robin across ``shards`` workers;
-2. each worker (a forked process via
-   :func:`repro.tools.bench_runner.run_tasks`) runs its inputs
+1. splits the input set round-robin across ``shards`` workers and
+   writes a **run manifest** describing the split;
+2. each worker (a forked process supervised by
+   :func:`repro.tools.bench_runner.run_supervised`) runs its inputs
    serially, merges the per-run CCTs with
-   :func:`repro.cct.merge.merge_ccts`, and serializes the shard's
-   aggregate with :func:`repro.cct.serialize.save_cct`;
-3. the parent reloads the shard dumps and merges them into one
+   :func:`repro.cct.merge.merge_ccts`, and **checkpoints** the shard's
+   aggregate atomically: the CCT dump via
+   :func:`repro.cct.serialize.save_cct` (tmp-file + rename) and a
+   digest-carrying result file referencing it;
+3. the parent validates each checkpoint (exit code, result digest,
+   CCT dump digest), **retries** failed, hung, or corrupt shards with
+   bounded backoff, reloads the dumps, and merges them into one
    aggregate CCT / path profile and one summed hardware-counter bank.
 
 Because the merge is commutative and associative with the empty CCT
 as identity (see :mod:`repro.cct.merge`), the aggregate is identical
 for every shard count — including ``shards=1`` — and identical to
 :func:`serial_run`, the in-process reference that never forks or
-touches disk.  ``tests/test_shard_runner.py`` pins this for
-``N ∈ {1, 2, 4}`` across statistics, hot paths, and all sixteen
-counters.
+touches disk.  The same algebra is what makes the runner *resumable*:
+a shard's checkpoint is a pure function of the spec and its input
+chunk, so :func:`resume_run` can re-execute only the missing or
+corrupt shards of a crashed run and still converge to the byte-
+identical serial result — recomputing a shard can never change what
+it contributes.  ``tests/test_shard_runner.py`` pins the equivalence
+for ``N ∈ {1, 2, 4}``; ``tests/test_shard_faults.py`` pins it under
+injected worker kills, hangs, and truncated dumps
+(:mod:`repro.tools.faults`).
+
+Every run appends shard start/exit/retry/merge events to a JSONL run
+log (:mod:`repro.tools.runlog`) in the working directory.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.cct.merge import MergedCCT, merge_ccts
-from repro.cct.serialize import load_cct, save_cct
+from repro.cct.merge import MergedCCT, cct_digest, merge_ccts
+from repro.cct.serialize import CCTLoadError, file_digest, load_cct, save_cct
 from repro.machine.counters import NUM_EVENTS, Event
 from repro.machine.memory import MemoryMap
-from repro.profiles.merge import merge_counts, merge_metric_maps
+from repro.profiles.merge import (
+    counts_from_json,
+    counts_to_json,
+    merge_counts,
+    merge_metric_maps,
+    metric_maps_from_json,
+    metric_maps_to_json,
+)
 from repro.profiles.pathprofile import (
     FunctionPathProfile,
     PathProfile,
     collect_path_profile,
 )
-from repro.tools.bench_runner import run_tasks
+from repro.tools.bench_runner import run_supervised
+from repro.tools.faults import FaultPlan
 from repro.tools.pp import PP, clone_program
+from repro.tools.runlog import RunLog
 
 #: Profiling configurations the driver knows how to merge.
 MODES = ("context_flow", "context_hw", "flow_hw")
+
+MANIFEST_FORMAT = "repro-shard-manifest-v1"
+RESULT_FORMAT = "repro-shard-result-v1"
+MANIFEST_NAME = "manifest.json"
+LOG_NAME = "run.log.jsonl"
+
+#: Exponential backoff between retry waves is capped here (seconds).
+MAX_BACKOFF = 2.0
+
+
+class ShardCheckpointError(ValueError):
+    """A shard checkpoint or run manifest is missing or corrupt."""
+
+    def __init__(self, path: str, reason: str):
+        super().__init__(f"{path}: {reason}")
+        self.path = path
+        self.reason = reason
+
+
+class ShardRunError(RuntimeError):
+    """A shard kept failing after its retry budget was spent.
+
+    Carries the manifest path so the caller (or the ``repro shard-run
+    --resume`` CLI) can resume the run: checkpoints of the shards that
+    *did* complete stay valid on disk.
+    """
+
+    def __init__(self, message: str, shard: int, attempts: int, manifest: Optional[str]):
+        super().__init__(message)
+        self.shard = shard
+        self.attempts = attempts
+        self.manifest = manifest
 
 
 @dataclass(frozen=True)
@@ -56,6 +114,12 @@ class ShardSpec:
     program; workers rebuild it locally rather than pickling compiled
     IR.  ``inputs`` is the input set: one integer-argument tuple per
     run of ``main``.
+
+    ``retries``/``timeout``/``backoff`` are the fault-tolerance knobs:
+    each shard may be re-executed up to ``retries`` extra times after
+    a crash, hang (a worker alive past ``timeout`` seconds is killed),
+    or corrupt checkpoint, with exponential backoff between waves
+    (``backoff * 2**(attempt-1)`` seconds, capped at ``MAX_BACKOFF``).
     """
 
     workload: Optional[str] = None
@@ -67,6 +131,9 @@ class ShardSpec:
     engine: Optional[str] = None
     placement: str = "spanning_tree"
     by_site: bool = True
+    retries: int = 2
+    timeout: Optional[float] = None
+    backoff: float = 0.05
 
     def __post_init__(self):
         if self.mode not in MODES:
@@ -74,6 +141,12 @@ class ShardSpec:
         named = [x is not None for x in (self.workload, self.source, self.asm)]
         if sum(named) != 1:
             raise ValueError("specify exactly one of workload/source/asm")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
         object.__setattr__(
             self, "inputs", tuple(tuple(args) for args in self.inputs)
         )
@@ -92,6 +165,33 @@ class ShardSpec:
         return parse_program(self.asm)
 
 
+def spec_to_json(spec: ShardSpec) -> dict:
+    """A JSON-safe description of a spec (the manifest's ``spec`` key)."""
+    return {
+        "workload": spec.workload,
+        "scale": spec.scale,
+        "source": spec.source,
+        "asm": spec.asm,
+        "inputs": [list(args) for args in spec.inputs],
+        "mode": spec.mode,
+        "engine": spec.engine,
+        "placement": spec.placement,
+        "by_site": spec.by_site,
+        "retries": spec.retries,
+        "timeout": spec.timeout,
+        "backoff": spec.backoff,
+    }
+
+
+def spec_from_json(raw: dict) -> ShardSpec:
+    """Inverse of :func:`spec_to_json` (unknown keys are ignored)."""
+    known = {f for f in ShardSpec.__dataclass_fields__}
+    fields = {key: value for key, value in raw.items() if key in known}
+    if "inputs" in fields:
+        fields["inputs"] = tuple(tuple(args) for args in fields["inputs"])
+    return ShardSpec(**fields)
+
+
 @dataclass
 class ShardOutcome:
     """The merged view of one sharded (or serial reference) run."""
@@ -108,6 +208,8 @@ class ShardOutcome:
     return_values: List[int]
     #: Shard CCT dump paths (empty when ``workdir`` was temporary).
     shard_files: List[str] = field(default_factory=list)
+    #: Run manifest path (``None`` when ``workdir`` was temporary).
+    manifest_path: Optional[str] = None
 
 
 def _run_one(pp: PP, program, spec: ShardSpec, args: Tuple[int, ...]):
@@ -139,9 +241,135 @@ def flow_template(spec: ShardSpec):
     )
 
 
-def _shard_worker(task):
-    """Run one shard's inputs; executed in a forked worker process."""
-    spec, chunk, cct_path = task
+# -- checkpoints and the run manifest ----------------------------------------
+
+
+def _chunks_of(spec: ShardSpec, shards: int) -> List[List[Tuple[int, Tuple[int, ...]]]]:
+    indexed = list(enumerate(spec.inputs))
+    return [indexed[shard::shards] for shard in range(shards)]
+
+
+def _result_path(workdir: str, shard: int) -> str:
+    return os.path.join(workdir, f"shard{shard}.result.json")
+
+
+def _cct_dump_path(workdir: str, shard: int) -> str:
+    return os.path.join(workdir, f"shard{shard}.cct.json")
+
+
+def _write_json_atomic(path: str, payload: dict) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def _payload_digest(payload: dict) -> str:
+    body = {key: value for key, value in payload.items() if key != "digest"}
+    return hashlib.sha256(
+        json.dumps(body, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def _load_checkpoint(workdir: str, shard: int) -> dict:
+    """Load and integrity-check one shard's result checkpoint.
+
+    Returns the result payload; raises :class:`ShardCheckpointError`
+    (result file missing/corrupt) or lets
+    :class:`~repro.cct.serialize.CCTLoadError` escape (CCT dump
+    unreadable) so the caller can name the offending path.
+    """
+    path = _result_path(workdir, shard)
+    if not os.path.exists(path):
+        raise ShardCheckpointError(path, "missing shard result")
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise ShardCheckpointError(
+            path, f"truncated or corrupt shard result ({exc})"
+        ) from exc
+    if not isinstance(payload, dict) or payload.get("format") != RESULT_FORMAT:
+        raise ShardCheckpointError(path, "not a shard result file")
+    if payload.get("digest") != _payload_digest(payload):
+        raise ShardCheckpointError(path, "shard result digest mismatch")
+    if payload.get("cct") is not None:
+        dump = os.path.join(workdir, payload["cct"])
+        if not os.path.exists(dump):
+            raise ShardCheckpointError(dump, "missing shard CCT dump")
+        if file_digest(dump) != payload.get("cct_digest"):
+            raise ShardCheckpointError(
+                dump, "shard CCT dump digest mismatch (torn write?)"
+            )
+    return payload
+
+
+def _checkpoint_valid(workdir: str, shard: int) -> bool:
+    try:
+        _load_checkpoint(workdir, shard)
+        return True
+    except (ShardCheckpointError, CCTLoadError):
+        return False
+
+
+def manifest_path_of(workdir: str) -> str:
+    return os.path.join(workdir, MANIFEST_NAME)
+
+
+def _write_manifest(workdir: str, spec: ShardSpec, shards: int) -> str:
+    chunks = _chunks_of(spec, shards)
+    payload = {
+        "format": MANIFEST_FORMAT,
+        "spec": spec_to_json(spec),
+        "shards": shards,
+        "entries": [
+            {
+                "shard": shard,
+                "result": os.path.basename(_result_path(workdir, shard)),
+                "cct": os.path.basename(_cct_dump_path(workdir, shard)),
+                "inputs": [index for index, _ in chunks[shard]],
+            }
+            for shard in range(shards)
+        ],
+    }
+    path = manifest_path_of(workdir)
+    _write_json_atomic(path, payload)
+    return path
+
+
+def load_manifest(path: str) -> dict:
+    """Read a run manifest; :class:`ShardCheckpointError` if damaged."""
+    if not os.path.exists(path):
+        raise ShardCheckpointError(path, "missing run manifest")
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise ShardCheckpointError(
+            path, f"truncated or corrupt run manifest ({exc})"
+        ) from exc
+    if not isinstance(payload, dict) or payload.get("format") != MANIFEST_FORMAT:
+        raise ShardCheckpointError(path, "not a shard run manifest")
+    return payload
+
+
+# -- the worker --------------------------------------------------------------
+
+
+def _shard_worker_entry(task) -> None:
+    """Run one shard's inputs and checkpoint the aggregate to disk.
+
+    Executed in a forked worker (or in-process when ``jobs=1``).  All
+    results travel through the checkpoint files — the supervisor reads
+    nothing from the worker but its exit code — which is what makes a
+    SIGKILLed worker indistinguishable from a never-started one and
+    retry/resume a pure re-execution.
+    """
+    spec, shard, chunk, workdir, fault = task
     pp = PP(placement=spec.placement, engine=spec.engine)
     program = spec.build_program()
     counters = [0] * NUM_EVENTS
@@ -149,7 +377,10 @@ def _shard_worker(task):
     ccts = []
     flow_counts: Dict[str, Dict[int, int]] = {}
     flow_metrics: Dict[str, Dict[int, List[int]]] = {}
-    for input_index, args in chunk:
+    midpoint = len(chunk) // 2
+    for position, (input_index, args) in enumerate(chunk):
+        if fault is not None and position == midpoint:
+            fault.maybe_fire(workdir, shard, "mid_run")
         run = _run_one(pp, program, spec, args)
         for event in Event:
             counters[event] += run.result.counters[event]
@@ -164,33 +395,209 @@ def _shard_worker(task):
                 flow_metrics[name] = merge_metric_maps(
                     [flow_metrics.get(name, {}), fpp.metrics]
                 )
+    if fault is not None and not chunk:
+        fault.maybe_fire(workdir, shard, "mid_run")
+
+    cct_name = None
+    dump_digest = None
     if ccts:
-        save_cct(merge_ccts(ccts), cct_path)
-    else:
-        cct_path = None
-    return {
+        dump = _cct_dump_path(workdir, shard)
+        save_cct(merge_ccts(ccts), dump)
+        dump_digest = file_digest(dump)
+        cct_name = os.path.basename(dump)
+        # The digest witnesses the *intended* dump; a truncate fault
+        # after this point is exactly the torn write it simulates.
+        if fault is not None:
+            fault.maybe_fire(workdir, shard, "after_dump", dump_path=dump)
+    payload = {
+        "format": RESULT_FORMAT,
+        "shard": shard,
         "counters": counters,
-        "returns": returns,
-        "cct_path": cct_path,
-        "flow_counts": flow_counts if spec.mode == "flow_hw" else None,
-        "flow_metrics": flow_metrics if spec.mode == "flow_hw" else None,
+        "returns": [[index, value] for index, value in returns],
+        "cct": cct_name,
+        "cct_digest": dump_digest,
+        "flow_counts": counts_to_json(flow_counts) if spec.mode == "flow_hw" else None,
+        "flow_metrics": (
+            metric_maps_to_json(flow_metrics) if spec.mode == "flow_hw" else None
+        ),
     }
+    payload["digest"] = _payload_digest(payload)
+    result = _result_path(workdir, shard)
+    _write_json_atomic(result, payload)
+    if fault is not None and cct_name is None:
+        fault.maybe_fire(workdir, shard, "after_dump", dump_path=result)
 
 
-def _merge_shard_results(spec: ShardSpec, shards: int, results) -> ShardOutcome:
+# -- the supervisor ----------------------------------------------------------
+
+
+def _execute_shards(
+    spec: ShardSpec,
+    shards: int,
+    workdir: str,
+    pending: Sequence[int],
+    jobs: int,
+    log: RunLog,
+    retries: int,
+    timeout: Optional[float],
+    fault: Optional[FaultPlan],
+    manifest: Optional[str],
+) -> None:
+    """Run ``pending`` shards to valid checkpoints, retrying failures.
+
+    Waves: every still-failing shard of a wave is retried in the next
+    one after an exponential-backoff pause, until its checkpoint
+    validates or its attempt budget (``1 + retries``) is spent —
+    then :class:`ShardRunError` (completed checkpoints stay on disk).
+    ``jobs=1`` runs workers in-process (no fork, timeouts unenforced),
+    which still exercises the full checkpoint/validate/merge path.
+    """
+    chunks = _chunks_of(spec, shards)
+    attempts = {shard: 0 for shard in pending}
+    wave = list(pending)
+    while wave:
+        for shard in wave:
+            attempts[shard] += 1
+        tasks = [(spec, shard, chunks[shard], workdir, fault) for shard in wave]
+        failed: List[int] = []
+        if jobs == 1:
+            for task in tasks:
+                shard = task[1]
+                log.emit(
+                    "shard_start", shard=shard, attempt=attempts[shard], pid=os.getpid()
+                )
+                started = time.perf_counter()
+                exitcode = 0
+                try:
+                    _shard_worker_entry(task)
+                except Exception as exc:  # noqa: BLE001 - retried below
+                    exitcode = 1
+                    log.emit(
+                        "shard_corrupt",
+                        shard=shard,
+                        attempt=attempts[shard],
+                        reason=f"worker raised {type(exc).__name__}: {exc}",
+                    )
+                log.emit(
+                    "shard_exit",
+                    shard=shard,
+                    attempt=attempts[shard],
+                    exitcode=exitcode,
+                    timed_out=False,
+                    seconds=round(time.perf_counter() - started, 4),
+                )
+                if exitcode != 0:
+                    failed.append(shard)
+        else:
+            outcomes = run_supervised(
+                _shard_worker_entry,
+                tasks,
+                jobs=jobs,
+                timeout=timeout,
+                on_start=lambda i, pid: log.emit(
+                    "shard_start", shard=wave[i], attempt=attempts[wave[i]], pid=pid
+                ),
+            )
+            for outcome in outcomes:
+                shard = wave[outcome.index]
+                log.emit(
+                    "shard_exit",
+                    shard=shard,
+                    attempt=attempts[shard],
+                    exitcode=outcome.exitcode,
+                    timed_out=outcome.timed_out,
+                    seconds=round(outcome.seconds, 4),
+                )
+                if not outcome.ok:
+                    failed.append(shard)
+        for shard in wave:
+            if shard in failed:
+                continue
+            try:
+                payload = _load_checkpoint(workdir, shard)
+            except (ShardCheckpointError, CCTLoadError) as exc:
+                log.emit(
+                    "shard_corrupt",
+                    shard=shard,
+                    attempt=attempts[shard],
+                    reason=str(exc),
+                )
+                failed.append(shard)
+                continue
+            log.emit(
+                "shard_done",
+                shard=shard,
+                attempt=attempts[shard],
+                digest=payload["digest"],
+            )
+        exhausted = [shard for shard in failed if attempts[shard] > retries]
+        if exhausted:
+            shard = exhausted[0]
+            log.emit(
+                "run_failed",
+                shard=shard,
+                attempts=attempts[shard],
+                reason="retry budget exhausted",
+            )
+            raise ShardRunError(
+                f"shard {shard} failed {attempts[shard]} time(s); "
+                + (f"resume with the manifest at {manifest}" if manifest
+                   else "re-run with a persistent workdir to enable resume"),
+                shard=shard,
+                attempts=attempts[shard],
+                manifest=manifest,
+            )
+        if failed:
+            delay = min(
+                MAX_BACKOFF,
+                spec.backoff * (2 ** (max(attempts[s] for s in failed) - 1)),
+            )
+            for shard in sorted(failed):
+                log.emit(
+                    "shard_retry",
+                    shard=shard,
+                    next_attempt=attempts[shard] + 1,
+                    delay=round(delay, 4),
+                )
+            if delay:
+                time.sleep(delay)
+        wave = sorted(failed)
+
+
+# -- merging -----------------------------------------------------------------
+
+
+def _merge_from_checkpoints(
+    spec: ShardSpec, shards: int, workdir: str, log: RunLog
+) -> ShardOutcome:
     counters = {event: 0 for event in Event}
     returns: List[Tuple[int, int]] = []
     shard_files: List[str] = []
     ccts = []
-    for result in results:
+    flow_payloads = []
+    for shard in range(shards):
+        payload = _load_checkpoint(workdir, shard)
         for event in Event:
-            counters[event] += result["counters"][event]
-        returns.extend(result["returns"])
-        if result["cct_path"]:
-            shard_files.append(result["cct_path"])
-            ccts.append(load_cct(result["cct_path"]))
+            counters[event] += payload["counters"][event]
+        returns.extend((index, value) for index, value in payload["returns"])
+        if payload["cct"] is not None:
+            dump = os.path.join(workdir, payload["cct"])
+            shard_files.append(dump)
+            ccts.append(load_cct(dump))
+        if spec.mode == "flow_hw":
+            flow_payloads.append(
+                (
+                    counts_from_json(payload["flow_counts"] or {}),
+                    metric_maps_from_json(payload["flow_metrics"] or {}),
+                )
+            )
 
     cct = merge_ccts(ccts) if spec.mode != "flow_hw" else None
+    log.emit(
+        "merge",
+        shards_merged=shards,
+        cct_digest=None if cct is None else cct_digest(cct),
+    )
     profile: Optional[PathProfile] = None
     if spec.mode == "context_flow":
         profile = collect_path_profile(flow_template(spec), cct_runtime=cct)
@@ -199,10 +606,10 @@ def _merge_shard_results(spec: ShardSpec, shards: int, results) -> ShardOutcome:
         profile = PathProfile()
         for name, info in template.functions.items():
             merged_counts = merge_counts(
-                [r["flow_counts"].get(name, {}) for r in results]
+                [counts.get(name, {}) for counts, _ in flow_payloads]
             )
             merged_metrics = merge_metric_maps(
-                [r["flow_metrics"].get(name, {}) for r in results]
+                [metrics.get(name, {}) for _, metrics in flow_payloads]
             )
             profile.functions[name] = FunctionPathProfile(
                 info, merged_counts, merged_metrics
@@ -215,7 +622,11 @@ def _merge_shard_results(spec: ShardSpec, shards: int, results) -> ShardOutcome:
         counters=counters,
         return_values=[rv for _, rv in sorted(returns)],
         shard_files=shard_files,
+        manifest_path=manifest_path_of(workdir),
     )
+
+
+# -- entry points ------------------------------------------------------------
 
 
 def shard_run(
@@ -223,38 +634,120 @@ def shard_run(
     shards: int,
     workdir: Optional[str] = None,
     jobs: Optional[int] = None,
+    max_retries: Optional[int] = None,
+    timeout: Optional[float] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ShardOutcome:
     """Profile ``spec``'s input set across ``shards`` forked workers.
 
-    ``workdir`` keeps the per-shard CCT dumps (otherwise a temporary
-    directory is used and cleaned up).  ``jobs`` caps worker
-    parallelism (default: one process per shard; ``jobs=1`` runs the
-    shards serially in-process, still exercising the dump/merge path).
+    ``workdir`` keeps the per-shard checkpoints, the run manifest, and
+    the JSONL run log (otherwise a temporary directory is used and
+    cleaned up — which also forfeits resumability).  ``jobs`` caps
+    worker parallelism (default: one process per shard; ``jobs=1``
+    runs the shards serially in-process, still exercising the full
+    checkpoint/merge path).  ``max_retries``/``timeout`` override the
+    spec's knobs; ``fault_plan`` (or ``REPRO_FAULT_PLAN``) injects a
+    deterministic worker fault for testing recovery.
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
-    chunks = [
-        [(i, args) for i, args in enumerate(spec.inputs)][shard::shards]
-        for shard in range(shards)
-    ]
+    retries = spec.retries if max_retries is None else max_retries
+    timeout = spec.timeout if timeout is None else timeout
+    fault = fault_plan if fault_plan is not None else FaultPlan.from_env()
     cleanup = None
     if workdir is None:
         cleanup = tempfile.TemporaryDirectory(prefix="repro-shards-")
         workdir = cleanup.name
     try:
-        tasks = [
-            (spec, chunk, os.path.join(workdir, f"shard{index}.cct.json"))
-            for index, chunk in enumerate(chunks)
-        ]
-        results = run_tasks(
-            _shard_worker, tasks, jobs=shards if jobs is None else jobs
+        # Stale checkpoints from a previous run in the same directory
+        # would let a crashed worker masquerade as a completed one —
+        # including shards beyond this run's count, which a later
+        # resume of an old manifest could otherwise pick up.
+        for name in os.listdir(workdir):
+            if name.startswith("shard") and (
+                name.endswith(".result.json") or name.endswith(".cct.json")
+            ):
+                os.unlink(os.path.join(workdir, name))
+        manifest = _write_manifest(workdir, spec, shards)
+        log = RunLog(os.path.join(workdir, LOG_NAME))
+        log.emit(
+            "run_start",
+            shards=shards,
+            inputs=len(spec.inputs),
+            mode=spec.mode,
+            resume=False,
         )
-        outcome = _merge_shard_results(spec, shards, results)
+        _execute_shards(
+            spec,
+            shards,
+            workdir,
+            list(range(shards)),
+            shards if jobs is None else jobs,
+            log,
+            retries,
+            timeout,
+            fault,
+            None if cleanup is not None else manifest,
+        )
+        outcome = _merge_from_checkpoints(spec, shards, workdir, log)
+        log.emit("run_complete", shards=shards)
     finally:
         if cleanup is not None:
             cleanup.cleanup()
     if cleanup is not None:
         outcome.shard_files = []
+        outcome.manifest_path = None
+    return outcome
+
+
+def resume_run(
+    manifest: str,
+    jobs: Optional[int] = None,
+    max_retries: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+) -> ShardOutcome:
+    """Finish an interrupted sharded run from its manifest.
+
+    Validates every shard checkpoint under the manifest's directory,
+    re-executes only the missing or corrupt shards, and merges.  The
+    merge consumes the same per-shard aggregates a crash-free run
+    would have produced (each is a deterministic function of the spec
+    and its input chunk), so the resumed outcome is byte-identical to
+    both the uninterrupted sharded run and the serial reference.
+    """
+    payload = load_manifest(manifest)
+    spec = spec_from_json(payload["spec"])
+    shards = payload["shards"]
+    workdir = os.path.dirname(os.path.abspath(manifest))
+    retries = spec.retries if max_retries is None else max_retries
+    fault = fault_plan if fault_plan is not None else FaultPlan.from_env()
+    log = RunLog(os.path.join(workdir, LOG_NAME))
+    pending = [
+        shard for shard in range(shards) if not _checkpoint_valid(workdir, shard)
+    ]
+    log.emit(
+        "run_start",
+        shards=shards,
+        inputs=len(spec.inputs),
+        mode=spec.mode,
+        resume=True,
+        pending=pending,
+    )
+    if pending:
+        _execute_shards(
+            spec,
+            shards,
+            workdir,
+            pending,
+            len(pending) if jobs is None else jobs,
+            log,
+            retries,
+            spec.timeout,
+            fault,
+            manifest,
+        )
+    outcome = _merge_from_checkpoints(spec, shards, workdir, log)
+    log.emit("run_complete", shards=shards)
     return outcome
 
 
@@ -325,10 +818,19 @@ def spec_for_workload(
 
 
 __all__ = [
+    "LOG_NAME",
+    "MANIFEST_NAME",
     "MODES",
+    "ShardCheckpointError",
     "ShardOutcome",
+    "ShardRunError",
     "ShardSpec",
+    "load_manifest",
+    "manifest_path_of",
+    "resume_run",
     "serial_run",
     "shard_run",
     "spec_for_workload",
+    "spec_from_json",
+    "spec_to_json",
 ]

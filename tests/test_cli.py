@@ -249,6 +249,85 @@ class TestOptimize:
         assert "cycles:" in out
 
 
+class TestShardRun:
+    def test_keep_then_resume(self, source_file, tmp_path, capsys):
+        keep = str(tmp_path / "shards")
+        import os
+
+        os.mkdir(keep)
+        assert (
+            main(
+                [
+                    "shard-run",
+                    source_file,
+                    "--inputs",
+                    "1;2;1;2",
+                    "--shards",
+                    "2",
+                    "--keep",
+                    keep,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "4 inputs over 2 shards" in out
+        assert "merged hardware events" in out
+        assert f"manifest kept at {keep}" in out.replace("\n", " ") or keep in out
+        manifest = os.path.join(keep, "manifest.json")
+        assert os.path.exists(manifest)
+        assert os.path.exists(os.path.join(keep, "run.log.jsonl"))
+
+        # A completed run resumes as a pure re-merge of the checkpoints.
+        assert main(["shard-run", "--resume", manifest]) == 0
+        out = capsys.readouterr().out
+        assert "resumed 4 inputs over 2 shards" in out
+
+    def test_resume_reexecutes_missing_shard(self, source_file, tmp_path, capsys):
+        import os
+
+        keep = str(tmp_path / "shards")
+        os.mkdir(keep)
+        assert (
+            main(
+                [
+                    "shard-run",
+                    source_file,
+                    "--inputs",
+                    "1;2",
+                    "--shards",
+                    "2",
+                    "--keep",
+                    keep,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        os.unlink(os.path.join(keep, "shard1.result.json"))
+        assert main(["shard-run", "--resume", os.path.join(keep, "manifest.json")]) == 0
+        assert "resumed 2 inputs over 2 shards" in capsys.readouterr().out
+
+    def test_resume_missing_manifest_is_one_line_error(self, tmp_path, capsys):
+        assert main(["shard-run", "--resume", str(tmp_path / "manifest.json")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "missing run manifest" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_resume_corrupt_manifest_is_one_line_error(self, tmp_path, capsys):
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text("{definitely not json")
+        assert main(["shard-run", "--resume", str(manifest)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert str(manifest) in err
+
+    def test_file_required_without_resume(self):
+        with pytest.raises(SystemExit, match="FILE required"):
+            main(["shard-run", "--shards", "2"])
+
+
 class TestErrors:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):

@@ -174,3 +174,60 @@ def test_combined_mode_roundtrips_exactly():
     assert any(record.path_tables for record in run.cct.records)
     loaded = _roundtrip(run.cct)
     assert strict_form(loaded) == strict_form(run.cct)
+
+
+class TestAtomicityAndIntegrity:
+    """The checkpointing contract the shard runner builds on."""
+
+    def _tiny_cct(self):
+        base = MemoryMap().cct.base
+        root = CallRecord(ROOT_ID, None, 1, 3, base)
+        child = CallRecord("f", root, 1, 3, base + 100)
+        root.slots[0] = child
+        return FakeCCT(root, [root, child], 200)
+
+    def test_failed_save_preserves_previous_dump(self, tmp_path):
+        """A crash mid-serialization must leave the prior checkpoint
+        readable — the write lands in a temp file until the rename."""
+        path = str(tmp_path / "cct.json")
+        good = self._tiny_cct()
+        save_cct(good, path)
+        before = open(path).read()
+
+        bad = self._tiny_cct()
+        bad.records[1].metrics = [object(), 0, 0]  # not JSON-serializable
+        with pytest.raises(TypeError):
+            save_cct(bad, path)
+
+        assert open(path).read() == before
+        assert strict_form(load_cct(path)) == strict_form(good)
+        assert not [n for n in os.listdir(str(tmp_path)) if ".tmp." in n]
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        path = str(tmp_path / "cct.json")
+        save_cct(self._tiny_cct(), path)
+        assert os.listdir(str(tmp_path)) == ["cct.json"]
+
+    def test_file_digest_tracks_content(self, tmp_path):
+        from repro.cct.serialize import file_digest
+
+        path = str(tmp_path / "cct.json")
+        save_cct(self._tiny_cct(), path)
+        digest = file_digest(path)
+        assert digest == file_digest(path)  # deterministic
+        with open(path, "ab") as handle:
+            handle.write(b" ")
+        assert file_digest(path) != digest
+
+    def test_truncated_dump_raises_typed_error(self, tmp_path):
+        from repro.cct.serialize import CCTLoadError
+
+        path = str(tmp_path / "cct.json")
+        save_cct(self._tiny_cct(), path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size // 2)
+        with pytest.raises(CCTLoadError) as info:
+            load_cct(path)
+        assert info.value.path == path
+        assert "truncated or corrupt" in info.value.reason

@@ -1,0 +1,243 @@
+"""Fault tolerance of the sharded driver: crash, corrupt, hang, resume.
+
+The guarantee under test: whatever a fault does to a worker — SIGKILL
+mid-shard, a dump truncated after the atomic rename, a hang that
+trips the timeout — the run (after in-run retries or an explicit
+``resume_run``) converges to a CCT and flat profiles **byte-identical
+to the serial reference** (:func:`strict_form` on the CCT, exact
+count/metric maps on the paths), for shard counts 2 and 4.  The JSONL
+run log must also tell the story: retries, corruption reasons, and
+timeouts are all observable post mortem.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cct.merge import strict_form
+from repro.cct.serialize import CCTLoadError, load_cct
+from repro.machine.counters import Event
+from repro.tools.faults import FaultPlan
+from repro.tools.runlog import read_run_log
+from repro.tools.shard_runner import (
+    LOG_NAME,
+    ShardCheckpointError,
+    ShardRunError,
+    ShardSpec,
+    load_manifest,
+    resume_run,
+    serial_run,
+    shard_run,
+)
+
+SOURCE = """
+fn helper(x) { if (x % 2 == 0) { return x * 3; } return x + 7; }
+fn fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+fn main(a) {
+    var i = 0; var sum = 0;
+    while (i < a) { sum = sum + helper(i) + fib(i % 6); i = i + 1; }
+    return sum;
+}
+"""
+
+INPUTS = ((4,), (7,), (2,), (9,), (5,), (3,))
+
+
+def _spec(**overrides):
+    base = dict(
+        source=SOURCE, inputs=INPUTS, mode="context_flow", retries=1, backoff=0.01
+    )
+    base.update(overrides)
+    return ShardSpec(**base)
+
+
+def _profile_facts(profile):
+    return {
+        name: (dict(fpp.counts), {k: list(v) for k, v in fpp.metrics.items()})
+        for name, fpp in profile.functions.items()
+    }
+
+
+def _assert_matches_serial(outcome, reference):
+    assert outcome.return_values == reference.return_values
+    assert outcome.counters == reference.counters
+    for event in Event:
+        assert outcome.counters[event] == reference.counters[event], event.name
+    if reference.cct is not None:
+        assert strict_form(outcome.cct) == strict_form(reference.cct)
+    if reference.path_profile is not None:
+        assert _profile_facts(outcome.path_profile) == _profile_facts(
+            reference.path_profile
+        )
+
+
+def _events(workdir, kind):
+    return [
+        event
+        for event in read_run_log(os.path.join(str(workdir), LOG_NAME))
+        if event["event"] == kind
+    ]
+
+
+class TestSigkillMidShard:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_kill_is_retried_transparently(self, tmp_path, shards):
+        spec = _spec()
+        reference = serial_run(spec)
+        outcome = shard_run(
+            spec, shards, workdir=str(tmp_path), fault_plan=FaultPlan("kill", 1)
+        )
+        _assert_matches_serial(outcome, reference)
+        retried = _events(tmp_path, "shard_retry")
+        assert [event["shard"] for event in retried] == [1]
+        exits = [e for e in _events(tmp_path, "shard_exit") if e["shard"] == 1]
+        assert exits[0]["exitcode"] != 0 and exits[-1]["exitcode"] == 0
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_kill_then_resume_matches_serial(self, tmp_path, shards):
+        """The acceptance case: crash with no retry budget, then resume."""
+        spec = _spec(retries=0)
+        reference = serial_run(spec)
+        with pytest.raises(ShardRunError) as info:
+            shard_run(
+                spec, shards, workdir=str(tmp_path), fault_plan=FaultPlan("kill", 0)
+            )
+        assert info.value.shard == 0
+        assert info.value.manifest == str(tmp_path / "manifest.json")
+        # The surviving shards' checkpoints are still on disk and valid.
+        assert (tmp_path / "shard1.result.json").exists()
+        outcome = resume_run(info.value.manifest)
+        _assert_matches_serial(outcome, reference)
+        # Resume re-executed only the killed shard.
+        starts = _events(tmp_path, "run_start")
+        assert starts[-1]["resume"] is True and starts[-1]["pending"] == [0]
+
+
+class TestTruncatedDump:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_truncated_dump_detected_and_retried(self, tmp_path, shards):
+        spec = _spec()
+        reference = serial_run(spec)
+        outcome = shard_run(
+            spec, shards, workdir=str(tmp_path), fault_plan=FaultPlan("truncate", 0)
+        )
+        _assert_matches_serial(outcome, reference)
+        corrupt = _events(tmp_path, "shard_corrupt")
+        assert corrupt and corrupt[0]["shard"] == 0
+        assert "digest mismatch" in corrupt[0]["reason"]
+
+    def test_truncated_dump_then_resume(self, tmp_path):
+        spec = _spec(retries=0)
+        reference = serial_run(spec)
+        with pytest.raises(ShardRunError):
+            shard_run(
+                spec, 2, workdir=str(tmp_path), fault_plan=FaultPlan("truncate", 1)
+            )
+        outcome = resume_run(str(tmp_path / "manifest.json"))
+        _assert_matches_serial(outcome, reference)
+
+    def test_truncate_in_flow_mode_hits_result_checkpoint(self, tmp_path):
+        """flow_hw has no CCT dump; the torn write hits the result file
+        and is caught by the result digest instead."""
+        spec = _spec(mode="flow_hw")
+        reference = serial_run(spec)
+        outcome = shard_run(
+            spec, 2, workdir=str(tmp_path), fault_plan=FaultPlan("truncate", 0)
+        )
+        _assert_matches_serial(outcome, reference)
+        assert _events(tmp_path, "shard_corrupt")
+
+
+class TestHungWorker:
+    def test_hang_hits_timeout_and_is_retried(self, tmp_path):
+        spec = _spec(timeout=2.0)
+        reference = serial_run(spec)
+        outcome = shard_run(
+            spec, 2, workdir=str(tmp_path), fault_plan=FaultPlan("hang", 1)
+        )
+        _assert_matches_serial(outcome, reference)
+        exits = [e for e in _events(tmp_path, "shard_exit") if e["shard"] == 1]
+        assert exits[0]["timed_out"] is True
+        assert exits[-1]["timed_out"] is False
+
+    def test_hang_then_resume(self, tmp_path):
+        spec = _spec(retries=0, timeout=2.0)
+        reference = serial_run(spec)
+        with pytest.raises(ShardRunError):
+            shard_run(
+                spec, 2, workdir=str(tmp_path), fault_plan=FaultPlan("hang", 0)
+            )
+        outcome = resume_run(str(tmp_path / "manifest.json"))
+        _assert_matches_serial(outcome, reference)
+
+
+class TestCorruptCheckpointErrors:
+    def test_load_cct_names_the_corrupt_path(self, tmp_path):
+        path = tmp_path / "broken.cct.json"
+        path.write_text('{"format": "repro-cct-v1", "records": [')
+        with pytest.raises(CCTLoadError) as info:
+            load_cct(str(path))
+        assert str(path) in str(info.value)
+        assert info.value.path == str(path)
+
+    def test_load_cct_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": "world"}')
+        with pytest.raises(CCTLoadError, match="not a repro CCT file"):
+            load_cct(str(path))
+
+    def test_load_cct_missing_file(self, tmp_path):
+        with pytest.raises(CCTLoadError, match="cannot read"):
+            load_cct(str(tmp_path / "absent.cct.json"))
+
+    def test_load_cct_structurally_broken_dump(self, tmp_path):
+        path = tmp_path / "mangled.cct.json"
+        path.write_text(json.dumps({"format": "repro-cct-v1", "records": []}))
+        with pytest.raises(CCTLoadError, match="malformed"):
+            load_cct(str(path))
+
+    def test_hand_corrupted_checkpoint_is_rebuilt_on_resume(self, tmp_path):
+        spec = _spec()
+        reference = serial_run(spec)
+        shard_run(spec, 2, workdir=str(tmp_path), jobs=1)
+        dump = tmp_path / "shard0.cct.json"
+        dump.write_bytes(dump.read_bytes()[: dump.stat().st_size // 2])
+        outcome = resume_run(str(tmp_path / "manifest.json"))
+        _assert_matches_serial(outcome, reference)
+        starts = _events(tmp_path, "run_start")
+        assert starts[-1]["pending"] == [0]
+
+    def test_manifest_errors_are_typed(self, tmp_path):
+        missing = tmp_path / "nope" / "manifest.json"
+        with pytest.raises(ShardCheckpointError, match="missing run manifest"):
+            load_manifest(str(missing))
+        bad = tmp_path / "manifest.json"
+        bad.write_text("{not json")
+        with pytest.raises(ShardCheckpointError, match="corrupt run manifest"):
+            load_manifest(str(bad))
+
+
+class TestRunLogShape:
+    def test_happy_path_log_is_complete(self, tmp_path):
+        spec = _spec()
+        shard_run(spec, 2, workdir=str(tmp_path), jobs=1)
+        events = read_run_log(os.path.join(str(tmp_path), LOG_NAME))
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_complete"
+        assert kinds.count("shard_start") == 2 == kinds.count("shard_done")
+        merge = next(e for e in events if e["event"] == "merge")
+        assert merge["shards_merged"] == 2 and merge["cct_digest"]
+        assert [event["seq"] for event in events] == list(range(len(events)))
+
+    def test_resume_appends_to_the_same_log(self, tmp_path):
+        spec = _spec(retries=0)
+        with pytest.raises(ShardRunError):
+            shard_run(
+                spec, 2, workdir=str(tmp_path), fault_plan=FaultPlan("kill", 0)
+            )
+        resume_run(str(tmp_path / "manifest.json"))
+        kinds = [e["event"] for e in read_run_log(os.path.join(str(tmp_path), LOG_NAME))]
+        assert kinds.count("run_start") == 2
+        assert kinds.count("run_failed") == 1
+        assert kinds[-1] == "run_complete"

@@ -18,9 +18,13 @@ from repro.profiles.hotpaths import classify_paths
 from repro.tools.shard_runner import (
     ShardSpec,
     flow_template,
+    load_manifest,
+    resume_run,
     serial_run,
     shard_run,
     spec_for_workload,
+    spec_from_json,
+    spec_to_json,
 )
 
 SOURCE = """
@@ -119,6 +123,83 @@ class TestSpecValidation:
     def test_zero_shards_rejected(self):
         with pytest.raises(ValueError, match="shards"):
             shard_run(ShardSpec(source=SOURCE), 0)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            ShardSpec(source=SOURCE, retries=-1)
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            ShardSpec(source=SOURCE, timeout=0)
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ValueError, match="backoff"):
+            ShardSpec(source=SOURCE, backoff=-0.5)
+
+
+class TestManifestAndResume:
+    def test_spec_json_round_trip(self):
+        spec = ShardSpec(
+            source=SOURCE,
+            inputs=INPUTS,
+            mode="flow_hw",
+            retries=3,
+            timeout=7.5,
+            backoff=0.25,
+        )
+        assert spec_from_json(spec_to_json(spec)) == spec
+
+    def test_spec_from_json_ignores_unknown_keys(self):
+        raw = spec_to_json(ShardSpec(source=SOURCE, inputs=INPUTS))
+        raw["future_knob"] = "whatever"
+        assert spec_from_json(raw) == ShardSpec(source=SOURCE, inputs=INPUTS)
+
+    def test_manifest_describes_the_split(self, tmp_path):
+        spec = ShardSpec(source=SOURCE, inputs=INPUTS)
+        outcome = shard_run(spec, 3, workdir=str(tmp_path), jobs=1)
+        payload = load_manifest(outcome.manifest_path)
+        assert payload["shards"] == 3
+        assert spec_from_json(payload["spec"]) == spec
+        chunks = [entry["inputs"] for entry in payload["entries"]]
+        assert sorted(index for chunk in chunks for index in chunk) == list(
+            range(len(INPUTS))
+        )
+        assert chunks == [[0, 3], [1, 4], [2, 5]]  # round-robin
+
+    def test_resume_of_complete_run_reruns_nothing(self, tmp_path):
+        spec = ShardSpec(source=SOURCE, inputs=INPUTS)
+        outcome = shard_run(spec, 2, workdir=str(tmp_path), jobs=1)
+        before = {
+            name: os.path.getmtime(os.path.join(str(tmp_path), name))
+            for name in os.listdir(str(tmp_path))
+            if name.endswith(".json")
+        }
+        resumed = resume_run(outcome.manifest_path)
+        after = {
+            name: os.path.getmtime(os.path.join(str(tmp_path), name))
+            for name in before
+        }
+        assert before == after  # checkpoints untouched: pure re-merge
+        assert strict_form(resumed.cct) == strict_form(outcome.cct)
+        assert resumed.counters == outcome.counters
+        assert resumed.return_values == outcome.return_values
+
+    def test_temp_workdir_forfeits_resume(self):
+        spec = ShardSpec(source=SOURCE, inputs=INPUTS[:2])
+        outcome = shard_run(spec, 2, jobs=1)
+        assert outcome.manifest_path is None
+        assert outcome.shard_files == []
+
+    def test_rerun_in_same_workdir_clears_stale_checkpoints(self, tmp_path):
+        spec = ShardSpec(source=SOURCE, inputs=INPUTS)
+        shard_run(spec, 4, workdir=str(tmp_path), jobs=1)
+        # Fewer shards second time: shard 2/3 checkpoints must not
+        # survive to poison a later resume of the 2-shard manifest.
+        outcome = shard_run(spec, 2, workdir=str(tmp_path), jobs=1)
+        reference = serial_run(spec)
+        assert strict_form(outcome.cct) == strict_form(reference.cct)
+        assert not os.path.exists(str(tmp_path / "shard2.result.json"))
+        assert not os.path.exists(str(tmp_path / "shard3.result.json"))
 
 
 class TestWorkloadSharding:
