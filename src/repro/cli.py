@@ -3,9 +3,16 @@
 Commands:
 
 * ``run FILE [ARGS...]`` — execute a program, print result and counters;
-* ``flow FILE`` — flow-sensitive profile: hot paths with HW metrics;
-* ``context FILE`` — context-sensitive profile: the CCT with metrics;
-* ``combined FILE`` — flow+context; optionally save the CCT;
+* ``profile FILE`` — the unified driver: any :data:`repro.session.MODES`
+  configuration through the one ``ProfileSession`` pipeline, with
+  ``--log`` appending structured phase events (clone/instrument/decode/
+  run/collect, wall-time each) as JSONL;
+* ``flow FILE`` — flow-sensitive profile: hot paths with HW metrics
+  (``profile --mode flow``);
+* ``context FILE`` — context-sensitive profile: the CCT with metrics
+  (``profile --mode context``);
+* ``combined FILE`` — flow+context; optionally save the CCT
+  (``profile --mode combined``);
 * ``coverage FILE`` — path coverage with untested paths;
 * ``shard-run FILE`` — split an input set across forked workers and
   merge the per-shard profiles into one aggregate; checkpoints, a run
@@ -64,14 +71,60 @@ def cmd_run(args) -> int:
     return 0
 
 
-def cmd_flow(args) -> int:
-    from repro.profiles.hotpaths import classify_paths
-    from repro.tools.pp import PP
+#: CLI mode names -> :data:`repro.session.MODES` entries.
+_PROFILE_MODES = {
+    "baseline": "baseline",
+    "flow": "flow_hw",
+    "flow-freq": "flow_freq",
+    "context": "context_hw",
+    "combined": "context_flow",
+    "edge": "edge",
+}
 
-    program = _load_program(args.file)
-    pp = PP(placement=args.placement)
-    base = pp.baseline(program, _int_args(args.args))
-    run = pp.flow_hw(program, _int_args(args.args))
+
+def _make_session(args):
+    """One ``ProfileSession`` per command; ``--log`` adds phase events."""
+    from repro.session import ProfileSession
+
+    log = None
+    if getattr(args, "log", None):
+        from repro.tools.runlog import RunLog
+
+        log = RunLog(args.log, command=args.command)
+    return ProfileSession(log=log)
+
+
+def _build_spec(mode, args):
+    """A ``ProfileSpec`` from CLI flags (absent flags keep defaults)."""
+    from repro.session import ProfileSpec
+
+    pic0 = getattr(args, "pic0", None)
+    pic1 = getattr(args, "pic1", None)
+    return ProfileSpec(
+        mode=mode,
+        pic0_event=pic0.upper() if isinstance(pic0, str) else Event.INSTRS,
+        pic1_event=pic1.upper() if isinstance(pic1, str) else Event.DC_MISS,
+        placement=getattr(args, "placement", None) or "spanning_tree",
+        engine=getattr(args, "engine", None),
+        by_site=not getattr(args, "merge_sites", False),
+        read_at_backedges=getattr(args, "backedge_reads", False),
+    )
+
+
+def _report_baseline(run, args) -> int:
+    print(f"result: {run.return_value}")
+    rows = [
+        {"Event": event.name, "Count": run.result[event]}
+        for event in Event
+        if run.result[event]
+    ]
+    print(format_table(rows, title="hardware events"))
+    return 0
+
+
+def _report_flow(base, run, args) -> int:
+    from repro.profiles.hotpaths import classify_paths
+
     print(f"result: {run.return_value}  overhead: {run.overhead_vs(base):.2f}x\n")
 
     report = classify_paths(run.path_profile, args.threshold)
@@ -100,23 +153,31 @@ def cmd_flow(args) -> int:
     return 0
 
 
-def cmd_context(args) -> int:
+def _report_flow_freq(run, args) -> int:
+    print(f"result: {run.return_value}\n")
+    rows = []
+    for name, fpp in run.path_profile.functions.items():
+        for path_sum, count in sorted(fpp.counts.items()):
+            rows.append(
+                {
+                    "Function": name,
+                    "Path": fpp.decode(path_sum).describe()[:70],
+                    "Freq": count,
+                }
+            )
+    rows.sort(key=lambda r: (-r["Freq"], r["Function"]))
+    print(format_table(rows[: args.limit], title="path frequencies"))
+    return 0
+
+
+def _report_context(run, args) -> int:
     from repro.cct.stats import cct_statistics
     from repro.render import render_cct_ascii, render_cct_dot
-    from repro.tools.pp import PP
 
-    program = _load_program(args.file)
-    pp = PP()
-    run = pp.context_hw(
-        program,
-        _int_args(args.args),
-        read_at_backedges=args.backedge_reads,
-        by_site=not args.merge_sites,
-    )
-    if args.dot:
+    if getattr(args, "dot", False):
         print(render_cct_dot(run.cct.root, metric=1))
         return 0
-    if args.tree:
+    if getattr(args, "tree", False):
         print(render_cct_ascii(run.cct.root, metric=1))
         return 0
     rows = []
@@ -141,13 +202,10 @@ def cmd_context(args) -> int:
     return 0
 
 
-def cmd_combined(args) -> int:
+def _report_combined(run, args) -> int:
     from repro.cct.serialize import save_cct
     from repro.cct.stats import cct_statistics
-    from repro.tools.pp import PP
 
-    program = _load_program(args.file)
-    run = PP().context_flow(program, _int_args(args.args))
     rows = []
     for record in run.cct.records:
         for fname, table in record.path_tables.items():
@@ -166,10 +224,67 @@ def cmd_combined(args) -> int:
         f"\none-path call sites: {stats.call_sites_one_path} of "
         f"{stats.call_sites_used} used"
     )
-    if args.save:
+    if getattr(args, "save", None):
         save_cct(run.cct, args.save)
         print(f"CCT written to {args.save}")
     return 0
+
+
+def _report_edges(run, args) -> int:
+    print(f"result: {run.return_value}\n")
+    rows = []
+    for name, info in run.edges.functions.items():
+        raw = info.table.nonzero()
+        for index in sorted(raw):
+            edge = info.cfg.edges[index]
+            rows.append(
+                {
+                    "Function": name,
+                    "Edge": f"{edge.src}->{edge.dst}",
+                    "Count": raw[index],
+                }
+            )
+    print(format_table(rows[: args.limit], title="edge counters"))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """The unified driver: every per-mode verb funnels through here."""
+    from dataclasses import replace
+
+    mode = _PROFILE_MODES[args.mode]
+    program = _load_program(args.file)
+    session = _make_session(args)
+    spec = _build_spec(mode, args)
+    run_args = _int_args(args.args)
+    if mode == "flow_hw":
+        base = session.run(replace(spec, mode="baseline"), program, run_args)
+        run = session.run(spec, program, run_args)
+        return _report_flow(base, run, args)
+    run = session.run(spec, program, run_args)
+    report = {
+        "baseline": _report_baseline,
+        "flow_freq": _report_flow_freq,
+        "context_hw": _report_context,
+        "context_flow": _report_combined,
+        "edge": _report_edges,
+    }[mode]
+    return report(run, args)
+
+
+def cmd_flow(args) -> int:
+    args.mode = "flow"
+    return cmd_profile(args)
+
+
+def cmd_context(args) -> int:
+    args.mode = "context"
+    return cmd_profile(args)
+
+
+def cmd_combined(args) -> int:
+    args.mode = "combined"
+    return cmd_profile(args)
 
 
 def cmd_coverage(args) -> int:
@@ -472,6 +587,35 @@ def build_parser() -> argparse.ArgumentParser:
         return p
 
     add_program_command("run", cmd_run, "execute and show hardware events")
+    profile = add_program_command(
+        "profile", cmd_profile, "unified profiling driver (any mode)"
+    )
+    profile.add_argument(
+        "--mode",
+        choices=sorted(_PROFILE_MODES),
+        default="flow",
+        help="profiling configuration (one ProfileSpec mode)",
+    )
+    profile.add_argument(
+        "--placement", choices=["simple", "spanning_tree"], default="spanning_tree"
+    )
+    profile.add_argument("--engine", help="execution engine override")
+    profile.add_argument("--pic0", default="INSTRS", help="PIC0 event name")
+    profile.add_argument("--pic1", default="DC_MISS", help="PIC1 event name")
+    profile.add_argument("--threshold", type=float, default=0.01)
+    profile.add_argument("--backedge-reads", action="store_true")
+    profile.add_argument(
+        "--merge-sites",
+        action="store_true",
+        help="site-insensitive CCT (smaller, less precise; §4.1)",
+    )
+    profile.add_argument("--tree", action="store_true", help="ASCII tree")
+    profile.add_argument("--dot", action="store_true", help="Graphviz DOT")
+    profile.add_argument("--save", help="write the CCT to this file")
+    profile.add_argument(
+        "--log",
+        help="append structured JSONL phase events (wall-time per phase) here",
+    )
     flow = add_program_command("flow", cmd_flow, "hot paths with HW metrics")
     flow.add_argument("--threshold", type=float, default=0.01)
     flow.add_argument(
@@ -599,16 +743,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     from repro.cct.serialize import CCTLoadError
+    from repro.session import ProfileSpecError
     from repro.tools.shard_runner import ShardCheckpointError, ShardRunError
 
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
-    except (CCTLoadError, ShardCheckpointError, ShardRunError) as exc:
-        # Corrupt dumps and exhausted shard retries are expected
-        # operational conditions: one line naming the offending path,
-        # not a traceback.
+    except (
+        CCTLoadError,
+        ProfileSpecError,
+        ShardCheckpointError,
+        ShardRunError,
+    ) as exc:
+        # Corrupt dumps, malformed specs, and exhausted shard retries
+        # are expected operational conditions: one line naming the
+        # offence, not a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

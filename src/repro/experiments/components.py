@@ -25,12 +25,12 @@ from repro.workloads.suite import SPEC95, build_workload
 def _workload_row(task) -> Dict[str, object]:
     pp, name, scale = task
     program = build_workload(name, scale)
-    base = pp.baseline(program)
-    edge_simple = pp.edge_profile(program, placement="simple")
-    edge_opt = pp.edge_profile(program, placement="spanning_tree")
-    path_simple = pp.flow_freq(program, placement="simple")
-    path_opt = pp.flow_freq(program, placement="spanning_tree")
-    flow_hw = pp.flow_hw(program)
+    base = pp.run(pp.spec("baseline"), program)
+    edge_simple = pp.run(pp.spec("edge", placement="simple"), program)
+    edge_opt = pp.run(pp.spec("edge", placement="spanning_tree"), program)
+    path_simple = pp.run(pp.spec("flow_freq", placement="simple"), program)
+    path_opt = pp.run(pp.spec("flow_freq", placement="spanning_tree"), program)
+    flow_hw = pp.run(pp.spec("flow_hw"), program)
     return {
         "Benchmark": name,
         "Edge simple x": round(edge_simple.overhead_vs(base), 3),

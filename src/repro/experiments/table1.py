@@ -22,10 +22,10 @@ def _workload_row(task) -> Dict[str, object]:
     """One workload's Table 1 row (module-level: pickles for fan-out)."""
     pp, name, scale = task
     program = build_workload(name, scale)
-    base = pp.baseline(program)
-    flow_hw = pp.flow_hw(program)
-    context_hw = pp.context_hw(program)
-    context_flow = pp.context_flow(program)
+    base = pp.run(pp.spec("baseline"), program)
+    flow_hw = pp.run(pp.spec("flow_hw"), program)
+    context_hw = pp.run(pp.spec("context_hw"), program)
+    context_flow = pp.run(pp.spec("context_flow"), program)
     for run in (flow_hw, context_hw, context_flow):
         if run.return_value != base.return_value:
             raise AssertionError(

@@ -37,9 +37,9 @@ _LABELS = {
 def _workload_row(task) -> Dict[str, object]:
     pp, name, scale = task
     program = build_workload(name, scale)
-    base = pp.baseline(program)
-    flow = pp.flow_hw(program)
-    context = pp.context_hw(program)
+    base = pp.run(pp.spec("baseline"), program)
+    flow = pp.run(pp.spec("flow_hw"), program)
+    context = pp.run(pp.spec("context_hw"), program)
     f_ratios = perturbation_ratios(flow.result.counters, base.result.counters)
     c_ratios = perturbation_ratios(context.result.counters, base.result.counters)
     row: Dict[str, object] = {"Benchmark": name}

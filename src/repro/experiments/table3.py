@@ -34,7 +34,7 @@ from repro.workloads.suite import SPEC95, build_workload
 def _workload_row(task) -> Dict[str, object]:
     pp, name, scale = task
     program = build_workload(name, scale)
-    run = pp.context_flow(program)
+    run = pp.run(pp.spec("context_flow"), program)
     statistics = cct_statistics(
         run.cct,
         program=run.program,

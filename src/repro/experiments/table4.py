@@ -26,7 +26,7 @@ MANY_PATH_WORKLOADS = ("099.go", "126.gcc")
 def _workload_rows(task) -> List[Dict[str, object]]:
     pp, name, scale, threshold, low_threshold = task
     program = build_workload(name, scale)
-    run = pp.flow_hw(program)
+    run = pp.run(pp.spec("flow_hw"), program)
     report = classify_paths(run.path_profile, threshold)
     row: Dict[str, object] = {"Benchmark": name, "Threshold": threshold}
     row.update(report.row())

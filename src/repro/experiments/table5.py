@@ -20,7 +20,7 @@ from repro.workloads.suite import SPEC95, build_workload
 def _workload_row(task) -> Dict[str, object]:
     pp, name, scale, threshold = task
     program = build_workload(name, scale)
-    run = pp.flow_hw(program)
+    run = pp.run(pp.spec("flow_hw"), program)
     report = classify_procedures(run.path_profile, threshold)
     row: Dict[str, object] = {"Benchmark": name}
     row.update(report.row())

@@ -1,0 +1,39 @@
+"""The declarative profiling layer: one spec, one pipeline.
+
+:class:`ProfileSpec` is a frozen, JSON-round-trippable description of
+a profiling run (mode, PIC events, placement, engine, input set);
+:class:`ProfileSession` owns the canonical clone → instrument →
+attach-runtime → run → collect pipeline that turns a spec into a
+:class:`ProfileRun`, emitting structured per-phase events through
+:mod:`repro.tools.runlog`.  Every driver in the repo — the ``PP``
+facade, the sharded runner, the benchmark harness, the experiments,
+the CLI — builds on this package.
+"""
+
+from repro.session.session import (
+    PHASES,
+    Instrumented,
+    ProfileRun,
+    ProfileSession,
+    clone_program,
+)
+from repro.session.spec import (
+    LABELS,
+    MODES,
+    PLACEMENTS,
+    ProfileSpec,
+    ProfileSpecError,
+)
+
+__all__ = [
+    "Instrumented",
+    "LABELS",
+    "MODES",
+    "PHASES",
+    "PLACEMENTS",
+    "ProfileRun",
+    "ProfileSession",
+    "ProfileSpec",
+    "ProfileSpecError",
+    "clone_program",
+]

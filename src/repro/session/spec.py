@@ -1,0 +1,175 @@
+"""`ProfileSpec` — the declarative description of one profiling run.
+
+The paper's PP tool is a single pipeline: instrument a program, attach
+runtime state, run it, collect the profile.  Every driver in this repo
+(the `PP` facade, the sharded runner, the benchmark harness, the table
+experiments, the CLI) describes such a run with the same handful of
+knobs, so those knobs live here as one frozen, JSON-round-trippable
+value.  A spec is pure data: it names *what* to profile, never holds
+programs, machines, or runtime tables — :class:`repro.session.session.
+ProfileSession` turns a spec into a run.
+
+Validation happens at construction: an unknown mode or placement is a
+:class:`ProfileSpecError` the moment the spec is built, not a silent
+fallback deep inside a worker process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Optional, Sequence, Tuple
+
+from repro.machine.counters import Event
+
+#: The six profiling configurations of Table 1 (plus the qpt-style
+#: edge-profiling comparator and the §6.1 frequency-only baseline).
+MODES = (
+    "baseline",
+    "flow_hw",
+    "flow_freq",
+    "context_hw",
+    "context_flow",
+    "edge",
+)
+
+#: Counter-increment placement strategies ([BL94] vs naive).
+PLACEMENTS = ("simple", "spanning_tree")
+
+#: Human-facing run labels (``ProfileRun.label``), per mode.
+LABELS = {
+    "baseline": "base",
+    "flow_hw": "flow+hw",
+    "flow_freq": "flow",
+    "context_hw": "context+hw",
+    "context_flow": "context+flow",
+    "edge": "edge",
+}
+
+
+class ProfileSpecError(ValueError):
+    """A profiling spec is malformed (unknown mode, placement, event)."""
+
+
+def _coerce_event(value, name: str) -> Event:
+    if isinstance(value, Event):
+        return value
+    try:
+        if isinstance(value, str):
+            return Event[value]
+        return Event(value)
+    except (KeyError, ValueError):
+        raise ProfileSpecError(
+            f"unknown {name} {value!r}; options: {[e.name for e in Event]}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ProfileSpec:
+    """Everything that determines one profiling run, as pure data.
+
+    * ``mode`` — one of :data:`MODES`;
+    * ``pic0_event``/``pic1_event`` — what the two PIC registers count;
+    * ``placement`` — counter placement (``spanning_tree`` or ``simple``);
+    * ``engine`` — execution engine override (``None`` defers to the
+      Machine default / ``REPRO_ENGINE``);
+    * ``by_site`` — site-sensitive CCT records (§4.1);
+    * ``read_at_backedges`` — extra counter reads at loop backedges
+      (context mode, §4.2);
+    * ``functions`` — restrict instrumentation to these functions
+      (``None`` instruments everything);
+    * ``inputs`` — the input set: one integer-argument tuple per run
+      of ``main``.
+    """
+
+    mode: str = "baseline"
+    pic0_event: Event = Event.INSTRS
+    pic1_event: Event = Event.DC_MISS
+    placement: str = "spanning_tree"
+    engine: Optional[str] = None
+    by_site: bool = True
+    read_at_backedges: bool = False
+    functions: Optional[Tuple[str, ...]] = None
+    inputs: Tuple[Tuple[int, ...], ...] = ((),)
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise ProfileSpecError(
+                f"unknown mode {self.mode!r}; options: {MODES}"
+            )
+        if self.placement not in PLACEMENTS:
+            raise ProfileSpecError(
+                f"unknown placement {self.placement!r}; options: {PLACEMENTS}"
+            )
+        object.__setattr__(
+            self, "pic0_event", _coerce_event(self.pic0_event, "pic0_event")
+        )
+        object.__setattr__(
+            self, "pic1_event", _coerce_event(self.pic1_event, "pic1_event")
+        )
+        if self.functions is not None:
+            object.__setattr__(self, "functions", tuple(self.functions))
+        object.__setattr__(
+            self, "inputs", tuple(tuple(args) for args in self.inputs)
+        )
+
+    # -- derived structure -----------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        return LABELS[self.mode]
+
+    @property
+    def needs_paths(self) -> bool:
+        """Does this mode carry Ball–Larus path instrumentation?"""
+        return self.mode in ("flow_hw", "flow_freq", "context_flow")
+
+    @property
+    def needs_context(self) -> bool:
+        """Does this mode carry CCT instrumentation?"""
+        return self.mode in ("context_hw", "context_flow")
+
+    @property
+    def needs_edges(self) -> bool:
+        return self.mode == "edge"
+
+    @property
+    def path_mode(self) -> str:
+        """What the path probes record: HW metrics or frequency only."""
+        return "hw" if self.mode == "flow_hw" else "freq"
+
+    @property
+    def per_context(self) -> bool:
+        """Are path counters stored in the current CCT record?"""
+        return self.mode == "context_flow"
+
+    def with_inputs(self, inputs: Sequence[Sequence[int]]) -> "ProfileSpec":
+        """The same configuration over a different input set."""
+        return replace(self, inputs=tuple(tuple(args) for args in inputs))
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """A JSON-safe description; inverse of :meth:`from_json`."""
+        return {
+            "mode": self.mode,
+            "pic0_event": self.pic0_event.name,
+            "pic1_event": self.pic1_event.name,
+            "placement": self.placement,
+            "engine": self.engine,
+            "by_site": self.by_site,
+            "read_at_backedges": self.read_at_backedges,
+            "functions": None if self.functions is None else list(self.functions),
+            "inputs": [list(args) for args in self.inputs],
+        }
+
+    @classmethod
+    def from_json(cls, raw: dict) -> "ProfileSpec":
+        """Rebuild a spec from :meth:`to_json` (unknown keys ignored)."""
+        if not isinstance(raw, dict):
+            raise ProfileSpecError(f"profile spec must be an object, got {raw!r}")
+        known = {f.name for f in fields(cls)}
+        kwargs = {key: value for key, value in raw.items() if key in known}
+        return cls(**kwargs)
+
+
+__all__ = ["LABELS", "MODES", "PLACEMENTS", "ProfileSpec", "ProfileSpecError"]

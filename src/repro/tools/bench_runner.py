@@ -45,7 +45,6 @@ reported.
 
 from __future__ import annotations
 
-import copy
 import os
 import time
 from dataclasses import dataclass
@@ -183,56 +182,19 @@ INSTRUMENTED_MODES = ("flow_hw", "context_hw", "context_flow")
 def prepare_instrumented(program, mode: str):
     """Instrument a clone of ``program`` once for ``mode``.
 
-    Returns ``(target, fresh)`` where ``target`` is the instrumented
-    program (shared by every pass, so the fast engine's per-block
+    A thin wrapper over the canonical pipeline: builds a default
+    :class:`~repro.session.ProfileSpec` for ``mode`` and asks a
+    :class:`~repro.session.ProfileSession` to instrument.  Returns
+    ``(target, fresh)`` where ``target`` is the instrumented program
+    (shared by every pass, so the fast engine's per-block
     compiled-source cache stays warm) and ``fresh()`` builds a new
     ``(path_runtime, cct_runtime)`` pair for one run: empty counters,
     identical table geometry and base addresses.
     """
-    from repro.cct.runtime import CCTRuntime
-    from repro.instrument.cctinstr import instrument_context
-    from repro.instrument.pathinstr import instrument_paths
-    from repro.instrument.tables import ProfilingRuntime
-    from repro.machine.memory import MemoryMap
-    from repro.tools.pp import clone_program
+    from repro.session import ProfileSession, ProfileSpec
 
-    target = clone_program(program)
-    cct_base = MemoryMap().cct.base
-    if mode == "flow_hw":
-        pristine = ProfilingRuntime(MemoryMap().profiling.base)
-        instrument_paths(target, mode="hw", placement="spanning_tree", runtime=pristine)
-
-        def fresh():
-            return copy.deepcopy(pristine), None
-
-    elif mode == "context_hw":
-        instrument_context(target)
-
-        def fresh():
-            return None, CCTRuntime(cct_base, collect_hw=True, by_site=True)
-
-    elif mode == "context_flow":
-        pristine = ProfilingRuntime(MemoryMap().profiling.base)
-        # Flow first so path commits precede CctExit (see cctinstr).
-        instrument_paths(
-            target,
-            mode="freq",
-            placement="spanning_tree",
-            runtime=pristine,
-            per_context=True,
-        )
-        instrument_context(target)
-
-        def fresh():
-            runtime = copy.deepcopy(pristine)
-            cct = CCTRuntime(
-                cct_base, collect_hw=False, profiling=runtime, by_site=True
-            )
-            return runtime, cct
-
-    else:
-        raise ValueError(f"unknown instrumented mode {mode!r}")
-    return target, fresh
+    instrumented = ProfileSession().instrument(ProfileSpec(mode=mode), program)
+    return instrumented.program, lambda: instrumented.runtimes(fresh=True)
 
 
 def _suite_pass(machines) -> Tuple[int, float, list]:

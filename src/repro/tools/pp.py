@@ -1,6 +1,10 @@
-"""PP — the Path Profiler (§5), end to end.
+"""PP — the Path Profiler (§5), as a facade over :mod:`repro.session`.
 
-One method per profiling configuration of Table 1:
+``PP`` holds a profiler *configuration* (machine config, PIC events,
+default placement, engine) and turns it into declarative
+:class:`~repro.session.ProfileSpec` values that one shared
+:class:`~repro.session.ProfileSession` executes.  One method per
+profiling configuration of Table 1 survives for convenience:
 
 * :meth:`PP.baseline` — the uninstrumented run (free-running counters);
 * :meth:`PP.flow_hw` — hardware metrics along intraprocedural paths
@@ -12,59 +16,24 @@ One method per profiling configuration of Table 1:
 * :meth:`PP.flow_freq` — plain path profiling (the §6.1 baseline);
 * :meth:`PP.edge_profile` — the qpt-style edge-profiling comparator.
 
-Every method deep-copies the input program before instrumenting, so
-one program object can be profiled under every configuration.
+Each is a one-liner: build a spec with :meth:`PP.spec`, run it with
+:meth:`PP.run`.  Drivers that want the pipeline directly (sharding,
+benchmarks, experiments) use the session layer themselves.
+
+Every run deep-copies the input program before instrumenting, so one
+program object can be profiled under every configuration.
 """
 
 from __future__ import annotations
 
-import copy
-from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.cct.runtime import CCTRuntime
-from repro.instrument.cctinstr import ContextInstrumentation, instrument_context
-from repro.instrument.edgeinstr import EdgeInstrumentation, instrument_edges
-from repro.instrument.pathinstr import FlowInstrumentation, instrument_paths
-from repro.instrument.tables import ProfilingRuntime
 from repro.ir.function import Program
 from repro.machine.config import MachineConfig
 from repro.machine.counters import Event
-from repro.machine.memory import MemoryMap
-from repro.machine.vm import Machine, RunResult
-from repro.profiles.pathprofile import PathProfile, collect_path_profile
+from repro.session import ProfileRun, ProfileSession, ProfileSpec, clone_program
 
-
-def clone_program(program: Program) -> Program:
-    """Deep-copy a program so instrumentation can edit it freely."""
-    return copy.deepcopy(program)
-
-
-@dataclass
-class ProfileRun:
-    """Everything one profiling run produced."""
-
-    label: str
-    program: Program
-    machine: Machine
-    result: RunResult
-    flow: Optional[FlowInstrumentation] = None
-    edges: Optional[EdgeInstrumentation] = None
-    context: Optional[ContextInstrumentation] = None
-    cct: Optional[CCTRuntime] = None
-    path_profile: Optional[PathProfile] = None
-
-    @property
-    def cycles(self) -> int:
-        return self.result.cycles
-
-    @property
-    def return_value(self):
-        return self.result.return_value
-
-    def overhead_vs(self, baseline: "ProfileRun") -> float:
-        """Run-time ratio against a baseline run (Table 1's "x base")."""
-        return self.cycles / baseline.cycles if baseline.cycles else float("inf")
+__all__ = ["PP", "ProfileRun", "clone_program"]
 
 
 class PP:
@@ -85,23 +54,38 @@ class PP:
         #: Execution engine for every machine this profiler creates
         #: (None defers to the Machine default / ``REPRO_ENGINE``).
         self.engine = engine
+        self.session = ProfileSession(config=self.config)
 
-    # -- runs ------------------------------------------------------------------
+    # -- the declarative core --------------------------------------------------
 
-    def _machine(self, program: Program) -> Machine:
-        return Machine(
-            program,
-            copy.deepcopy(self.config),
+    def spec(
+        self,
+        mode: str,
+        placement: Optional[str] = None,
+        functions: Optional[Sequence[str]] = None,
+        **overrides,
+    ) -> ProfileSpec:
+        """A :class:`ProfileSpec` carrying this profiler's defaults."""
+        return ProfileSpec(
+            mode=mode,
             pic0_event=self.pic0_event,
             pic1_event=self.pic1_event,
+            placement=placement if placement is not None else self.placement,
             engine=self.engine,
+            functions=None if functions is None else tuple(functions),
+            **overrides,
         )
 
+    def run(
+        self, spec: ProfileSpec, program: Program, args: Sequence = ()
+    ) -> ProfileRun:
+        """Execute one spec through the shared session pipeline."""
+        return self.session.run(spec, program, args)
+
+    # -- the six named configurations ------------------------------------------
+
     def baseline(self, program: Program, args: Sequence = ()) -> ProfileRun:
-        target = clone_program(program)
-        machine = self._machine(target)
-        result = machine.run(*args)
-        return ProfileRun("base", target, machine, result)
+        return self.run(self.spec("baseline"), program, args)
 
     def flow_hw(
         self,
@@ -109,22 +93,7 @@ class PP:
         args: Sequence = (),
         functions: Optional[Sequence[str]] = None,
     ) -> ProfileRun:
-        target = clone_program(program)
-        runtime = ProfilingRuntime(MemoryMap().profiling.base)
-        flow = instrument_paths(
-            target,
-            mode="hw",
-            placement=self.placement,
-            runtime=runtime,
-            functions=functions,
-        )
-        machine = self._machine(target)
-        machine.path_runtime = runtime
-        result = machine.run(*args)
-        profile = collect_path_profile(flow)
-        return ProfileRun(
-            "flow+hw", target, machine, result, flow=flow, path_profile=profile
-        )
+        return self.run(self.spec("flow_hw", functions=functions), program, args)
 
     def flow_freq(
         self,
@@ -133,21 +102,10 @@ class PP:
         functions: Optional[Sequence[str]] = None,
         placement: Optional[str] = None,
     ) -> ProfileRun:
-        target = clone_program(program)
-        runtime = ProfilingRuntime(MemoryMap().profiling.base)
-        flow = instrument_paths(
-            target,
-            mode="freq",
-            placement=placement or self.placement,
-            runtime=runtime,
-            functions=functions,
-        )
-        machine = self._machine(target)
-        machine.path_runtime = runtime
-        result = machine.run(*args)
-        profile = collect_path_profile(flow)
-        return ProfileRun(
-            "flow", target, machine, result, flow=flow, path_profile=profile
+        return self.run(
+            self.spec("flow_freq", placement=placement, functions=functions),
+            program,
+            args,
         )
 
     def context_hw(
@@ -158,16 +116,15 @@ class PP:
         read_at_backedges: bool = False,
         by_site: bool = True,
     ) -> ProfileRun:
-        target = clone_program(program)
-        context = instrument_context(
-            target, functions=functions, read_at_backedges=read_at_backedges
-        )
-        cct = CCTRuntime(MemoryMap().cct.base, collect_hw=True, by_site=by_site)
-        machine = self._machine(target)
-        machine.cct_runtime = cct
-        result = machine.run(*args)
-        return ProfileRun(
-            "context+hw", target, machine, result, context=context, cct=cct
+        return self.run(
+            self.spec(
+                "context_hw",
+                functions=functions,
+                read_at_backedges=read_at_backedges,
+                by_site=by_site,
+            ),
+            program,
+            args,
         )
 
     def context_flow(
@@ -177,35 +134,10 @@ class PP:
         functions: Optional[Sequence[str]] = None,
         by_site: bool = True,
     ) -> ProfileRun:
-        target = clone_program(program)
-        runtime = ProfilingRuntime(MemoryMap().profiling.base)
-        # Flow first so path commits precede CctExit (see cctinstr).
-        flow = instrument_paths(
-            target,
-            mode="freq",
-            placement=self.placement,
-            runtime=runtime,
-            functions=functions,
-            per_context=True,
-        )
-        context = instrument_context(target, functions=functions)
-        cct = CCTRuntime(
-            MemoryMap().cct.base, collect_hw=False, profiling=runtime, by_site=by_site
-        )
-        machine = self._machine(target)
-        machine.path_runtime = runtime
-        machine.cct_runtime = cct
-        result = machine.run(*args)
-        profile = collect_path_profile(flow, cct_runtime=cct)
-        return ProfileRun(
-            "context+flow",
-            target,
-            machine,
-            result,
-            flow=flow,
-            context=context,
-            cct=cct,
-            path_profile=profile,
+        return self.run(
+            self.spec("context_flow", functions=functions, by_site=by_site),
+            program,
+            args,
         )
 
     def edge_profile(
@@ -215,12 +147,8 @@ class PP:
         placement: str = "simple",
         functions: Optional[Sequence[str]] = None,
     ) -> ProfileRun:
-        target = clone_program(program)
-        runtime = ProfilingRuntime(MemoryMap().profiling.base)
-        edges = instrument_edges(
-            target, placement=placement, runtime=runtime, functions=functions
+        return self.run(
+            self.spec("edge", placement=placement, functions=functions),
+            program,
+            args,
         )
-        machine = self._machine(target)
-        machine.path_runtime = runtime
-        result = machine.run(*args)
-        return ProfileRun("edge", target, machine, result, edges=edges)

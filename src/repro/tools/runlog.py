@@ -1,10 +1,12 @@
-"""Structured JSONL logging for sharded profiling runs.
+"""Structured JSONL logging for profiling runs.
 
 Long collection runs need post-mortem observability: which shard was
-retried, why, how many attempts it took, and what digest the merge
-consumed.  The shard runner appends one JSON object per event to a
-``run.log.jsonl`` file next to the shard checkpoints, so a crashed or
-resumed run carries its full history in the working directory.
+retried, why, how many attempts it took, what digest the merge
+consumed, and how long each pipeline phase of every run took.  Writers
+append one JSON object per event to a ``run.log.jsonl`` file next to
+the shard checkpoints (or wherever ``repro profile --log`` points), so
+a crashed or resumed run carries its full history in the working
+directory.
 
 Events share a small envelope — ``seq`` (monotonic per writer),
 ``ts`` (Unix seconds), ``event`` — plus event-specific fields:
@@ -20,11 +22,19 @@ Events share a small envelope — ``seq`` (monotonic per writer),
 ``merge``                 ``shards_merged``, ``cct_digest``
 ``run_complete``          ``shards``
 ``run_failed``            ``shard``, ``attempts``, ``reason``
+``phase``                 ``phase`` (clone/instrument/decode/run/collect),
+                          ``mode``, ``seconds``; the decode phase adds
+                          ``engine``, the run phase ``instructions`` and
+                          ``cycles`` (emitted by
+                          :class:`repro.session.ProfileSession`)
 ========================  ====================================================
 
-The log is append-only and written by the parent process only, so
-lines never interleave.  A ``RunLog(None)`` swallows events, keeping
-call sites unconditional.
+The log is append-only.  Shard workers append their own ``phase``
+events: each ``emit`` is a single whole-line ``O_APPEND`` write, so
+concurrent writers interleave lines, never bytes.  A writer can carry
+``context`` fields (e.g. ``shard``/``pid``) merged into every record
+to tell its lines apart; ``seq`` stays monotonic *per writer*.  A
+``RunLog(None)`` swallows events, keeping call sites unconditional.
 """
 
 from __future__ import annotations
@@ -35,16 +45,22 @@ from typing import Iterator, List, Optional
 
 
 class RunLog:
-    """Append-only JSONL event log (no-op when ``path`` is ``None``)."""
+    """Append-only JSONL event log (no-op when ``path`` is ``None``).
 
-    def __init__(self, path: Optional[str]):
+    ``context`` keyword fields are merged into every record the writer
+    emits — the shard runner stamps worker logs with ``shard``/``pid``.
+    """
+
+    def __init__(self, path: Optional[str], **context):
         self.path = path
+        self.context = context
         self._seq = 0
 
     def emit(self, event: str, **fields) -> None:
         if self.path is None:
             return
         record = {"seq": self._seq, "ts": round(time.time(), 3), "event": event}
+        record.update(self.context)
         record.update(fields)
         self._seq += 1
         with open(self.path, "a") as handle:

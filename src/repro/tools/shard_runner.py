@@ -34,7 +34,10 @@ injected worker kills, hangs, and truncated dumps
 (:mod:`repro.tools.faults`).
 
 Every run appends shard start/exit/retry/merge events to a JSONL run
-log (:mod:`repro.tools.runlog`) in the working directory.
+log (:mod:`repro.tools.runlog`) in the working directory; workers
+additionally append per-run pipeline ``phase`` events (clone /
+instrument / decode / run / collect, stamped with their shard and
+pid) through the :class:`~repro.session.ProfileSession` they run on.
 """
 
 from __future__ import annotations
@@ -44,13 +47,12 @@ import json
 import os
 import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cct.merge import MergedCCT, cct_digest, merge_ccts
 from repro.cct.serialize import CCTLoadError, file_digest, load_cct, save_cct
 from repro.machine.counters import NUM_EVENTS, Event
-from repro.machine.memory import MemoryMap
 from repro.profiles.merge import (
     counts_from_json,
     counts_to_json,
@@ -64,9 +66,9 @@ from repro.profiles.pathprofile import (
     PathProfile,
     collect_path_profile,
 )
+from repro.session import ProfileSession, ProfileSpec, ProfileSpecError
 from repro.tools.bench_runner import run_supervised
 from repro.tools.faults import FaultPlan
-from repro.tools.pp import PP, clone_program
 from repro.tools.runlog import RunLog
 
 #: Profiling configurations the driver knows how to merge.
@@ -105,15 +107,19 @@ class ShardRunError(RuntimeError):
         self.manifest = manifest
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, init=False)
 class ShardSpec:
-    """A workload plus its input set, in fork-safe (picklable) form.
+    """A workload plus its profiling spec, in fork-safe (picklable) form.
 
     Exactly one of ``workload`` (a SPEC95 suite name), ``source``
     (mini-language text), or ``asm`` (IR assembly text) names the
     program; workers rebuild it locally rather than pickling compiled
-    IR.  ``inputs`` is the input set: one integer-argument tuple per
-    run of ``main``.
+    IR.  ``profile`` is the embedded :class:`~repro.session.
+    ProfileSpec` describing *how* each input is profiled — its
+    ``inputs`` is the input set, one integer-argument tuple per run of
+    ``main``.  The legacy keyword arguments (``inputs``, ``mode``,
+    ``engine``, ``placement``, ``by_site``) still construct (or
+    override) the embedded spec, and read back through properties.
 
     ``retries``/``timeout``/``backoff`` are the fault-tolerance knobs:
     each shard may be re-executed up to ``retries`` extra times after
@@ -122,34 +128,98 @@ class ShardSpec:
     (``backoff * 2**(attempt-1)`` seconds, capped at ``MAX_BACKOFF``).
     """
 
-    workload: Optional[str] = None
-    scale: float = 1.0
-    source: Optional[str] = None
-    asm: Optional[str] = None
-    inputs: Tuple[Tuple[int, ...], ...] = ((),)
-    mode: str = "context_flow"
-    engine: Optional[str] = None
-    placement: str = "spanning_tree"
-    by_site: bool = True
-    retries: int = 2
-    timeout: Optional[float] = None
-    backoff: float = 0.05
+    workload: Optional[str]
+    scale: float
+    source: Optional[str]
+    asm: Optional[str]
+    profile: ProfileSpec
+    retries: int
+    timeout: Optional[float]
+    backoff: float
 
-    def __post_init__(self):
-        if self.mode not in MODES:
-            raise ValueError(f"unknown mode {self.mode!r}; options: {MODES}")
-        named = [x is not None for x in (self.workload, self.source, self.asm)]
+    def __init__(
+        self,
+        workload: Optional[str] = None,
+        scale: float = 1.0,
+        source: Optional[str] = None,
+        asm: Optional[str] = None,
+        inputs: Optional[Sequence[Sequence[int]]] = None,
+        mode: Optional[str] = None,
+        engine: Optional[str] = None,
+        placement: Optional[str] = None,
+        by_site: Optional[bool] = None,
+        profile: Optional[ProfileSpec] = None,
+        retries: int = 2,
+        timeout: Optional[float] = None,
+        backoff: float = 0.05,
+    ):
+        if profile is None:
+            profile = ProfileSpec(
+                mode="context_flow" if mode is None else mode,
+                engine=engine,
+                placement="spanning_tree" if placement is None else placement,
+                by_site=True if by_site is None else by_site,
+                inputs=((),) if inputs is None else tuple(
+                    tuple(args) for args in inputs
+                ),
+            )
+        else:
+            overrides = {
+                key: value
+                for key, value in (
+                    ("mode", mode),
+                    ("engine", engine),
+                    ("placement", placement),
+                    ("by_site", by_site),
+                    ("inputs", inputs),
+                )
+                if value is not None
+            }
+            if overrides:
+                profile = replace(profile, **overrides)
+        if profile.mode not in MODES:
+            raise ProfileSpecError(
+                f"unknown mode {profile.mode!r}; options: {MODES}"
+            )
+        named = [x is not None for x in (workload, source, asm)]
         if sum(named) != 1:
             raise ValueError("specify exactly one of workload/source/asm")
-        if self.retries < 0:
+        if retries < 0:
             raise ValueError("retries must be >= 0")
-        if self.backoff < 0:
+        if backoff < 0:
             raise ValueError("backoff must be >= 0")
-        if self.timeout is not None and self.timeout <= 0:
+        if timeout is not None and timeout <= 0:
             raise ValueError("timeout must be positive (or None)")
-        object.__setattr__(
-            self, "inputs", tuple(tuple(args) for args in self.inputs)
-        )
+        object.__setattr__(self, "workload", workload)
+        object.__setattr__(self, "scale", scale)
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "asm", asm)
+        object.__setattr__(self, "profile", profile)
+        object.__setattr__(self, "retries", retries)
+        object.__setattr__(self, "timeout", timeout)
+        object.__setattr__(self, "backoff", backoff)
+
+    # -- legacy accessors (pre-ProfileSpec field names) ------------------------
+
+    @property
+    def inputs(self) -> Tuple[Tuple[int, ...], ...]:
+        return self.profile.inputs
+
+    @property
+    def mode(self) -> str:
+        return self.profile.mode
+
+    @property
+    def engine(self) -> Optional[str]:
+        return self.profile.engine
+
+    @property
+    def placement(self) -> str:
+        return self.profile.placement
+
+    @property
+    def by_site(self) -> bool:
+        return self.profile.by_site
 
     def build_program(self):
         if self.workload is not None:
@@ -166,17 +236,17 @@ class ShardSpec:
 
 
 def spec_to_json(spec: ShardSpec) -> dict:
-    """A JSON-safe description of a spec (the manifest's ``spec`` key)."""
+    """A JSON-safe description of a spec (the manifest's ``spec`` key).
+
+    The profiling configuration is embedded whole under ``profile``
+    (see :meth:`repro.session.ProfileSpec.to_json`).
+    """
     return {
         "workload": spec.workload,
         "scale": spec.scale,
         "source": spec.source,
         "asm": spec.asm,
-        "inputs": [list(args) for args in spec.inputs],
-        "mode": spec.mode,
-        "engine": spec.engine,
-        "placement": spec.placement,
-        "by_site": spec.by_site,
+        "profile": spec.profile.to_json(),
         "retries": spec.retries,
         "timeout": spec.timeout,
         "backoff": spec.backoff,
@@ -184,12 +254,29 @@ def spec_to_json(spec: ShardSpec) -> dict:
 
 
 def spec_from_json(raw: dict) -> ShardSpec:
-    """Inverse of :func:`spec_to_json` (unknown keys are ignored)."""
-    known = {f for f in ShardSpec.__dataclass_fields__}
-    fields = {key: value for key, value in raw.items() if key in known}
-    if "inputs" in fields:
-        fields["inputs"] = tuple(tuple(args) for args in fields["inputs"])
-    return ShardSpec(**fields)
+    """Inverse of :func:`spec_to_json` (unknown keys are ignored).
+
+    Legacy manifests — written before the profiling configuration was
+    an embedded :class:`~repro.session.ProfileSpec` — carried ``mode``
+    / ``engine`` / ``placement`` / ``by_site`` / ``inputs`` at top
+    level; they still load.
+    """
+    kwargs = {
+        key: raw[key]
+        for key in (
+            "workload", "scale", "source", "asm", "retries", "timeout", "backoff"
+        )
+        if key in raw
+    }
+    if isinstance(raw.get("profile"), dict):
+        kwargs["profile"] = ProfileSpec.from_json(raw["profile"])
+    else:
+        for key in ("inputs", "mode", "engine", "placement", "by_site"):
+            if key in raw:
+                kwargs[key] = raw[key]
+        if "inputs" in kwargs:
+            kwargs["inputs"] = tuple(tuple(args) for args in kwargs["inputs"])
+    return ShardSpec(**kwargs)
 
 
 @dataclass
@@ -212,12 +299,21 @@ class ShardOutcome:
     manifest_path: Optional[str] = None
 
 
-def _run_one(pp: PP, program, spec: ShardSpec, args: Tuple[int, ...]):
-    if spec.mode == "context_flow":
-        return pp.context_flow(program, args, by_site=spec.by_site)
-    if spec.mode == "context_hw":
-        return pp.context_hw(program, args, by_site=spec.by_site)
-    return pp.flow_hw(program, args)
+def _run_one(
+    session: ProfileSession, program, spec: ShardSpec, args: Tuple[int, ...]
+):
+    """One input's profiling run through the canonical session pipeline.
+
+    ``ProfileSpec`` already validated the mode at construction; this
+    re-checks against the *shard-mergeable* subset so a spec built for
+    a mode the merge layer cannot aggregate fails loudly, by name,
+    instead of silently running some other configuration.
+    """
+    if spec.mode not in MODES:
+        raise ProfileSpecError(
+            f"cannot shard-merge mode {spec.mode!r}; options: {MODES}"
+        )
+    return session.run(spec.profile, program, args)
 
 
 def flow_template(spec: ShardSpec):
@@ -226,19 +322,7 @@ def flow_template(spec: ShardSpec):
     Instrumentation is deterministic in the program, so the template's
     :class:`FunctionPathInfo` decodes path sums produced by any worker.
     """
-    from repro.instrument.pathinstr import instrument_paths
-
-    program = clone_program(spec.build_program())
-    from repro.instrument.tables import ProfilingRuntime
-
-    runtime = ProfilingRuntime(MemoryMap().profiling.base)
-    return instrument_paths(
-        program,
-        mode="hw" if spec.mode == "flow_hw" else "freq",
-        placement=spec.placement,
-        runtime=runtime,
-        per_context=spec.mode == "context_flow",
-    )
+    return ProfileSession().instrument(spec.profile, spec.build_program()).flow
 
 
 # -- checkpoints and the run manifest ----------------------------------------
@@ -370,7 +454,16 @@ def _shard_worker_entry(task) -> None:
     retry/resume a pure re-execution.
     """
     spec, shard, chunk, workdir, fault = task
-    pp = PP(placement=spec.placement, engine=spec.engine)
+    # ``writer`` distinguishes each worker process's lines (and its
+    # per-writer ``seq``) from the coordinator's in the shared log.
+    session = ProfileSession(
+        log=RunLog(
+            os.path.join(workdir, LOG_NAME),
+            writer=f"shard-{shard}/{os.getpid()}",
+            shard=shard,
+            pid=os.getpid(),
+        )
+    )
     program = spec.build_program()
     counters = [0] * NUM_EVENTS
     returns: List[Tuple[int, int]] = []
@@ -381,7 +474,7 @@ def _shard_worker_entry(task) -> None:
     for position, (input_index, args) in enumerate(chunk):
         if fault is not None and position == midpoint:
             fault.maybe_fire(workdir, shard, "mid_run")
-        run = _run_one(pp, program, spec, args)
+        run = _run_one(session, program, spec, args)
         for event in Event:
             counters[event] += run.result.counters[event]
         returns.append((input_index, run.result.return_value))
@@ -758,14 +851,14 @@ def serial_run(spec: ShardSpec) -> ShardOutcome:
     per-run CCTs, pointwise profile sums) without forking or touching
     disk, so sharded outcomes can be compared against it bit for bit.
     """
-    pp = PP(placement=spec.placement, engine=spec.engine)
+    session = ProfileSession()
     program = spec.build_program()
     counters = {event: 0 for event in Event}
     returns: List[int] = []
     ccts = []
     profiles: List[PathProfile] = []
     for args in spec.inputs:
-        run = _run_one(pp, program, spec, args)
+        run = _run_one(session, program, spec, args)
         for event in Event:
             counters[event] += run.result.counters[event]
         returns.append(run.result.return_value)

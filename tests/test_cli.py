@@ -336,3 +336,81 @@ class TestErrors:
     def test_missing_file(self):
         with pytest.raises(FileNotFoundError):
             main(["run", "/nonexistent/program.pl"])
+
+
+class TestProfile:
+    """The unified ``profile`` verb and its per-mode delegates."""
+
+    MODE_TITLES = {
+        "baseline": "hardware events",
+        "flow": "paths by L1D misses",
+        "flow-freq": "path frequencies",
+        "context": "calling context tree",
+        "combined": "per-context path profile",
+        "edge": "edge counters",
+    }
+
+    @pytest.mark.parametrize("mode", sorted(MODE_TITLES))
+    def test_every_mode_reports(self, mode, source_file, capsys):
+        assert main(["profile", source_file, "1", "--mode", mode]) == 0
+        assert self.MODE_TITLES[mode] in capsys.readouterr().out
+
+    def test_per_mode_verbs_delegate(self, source_file, capsys):
+        """``flow``/``context``/``combined`` are spelled-out profile modes."""
+        for verb, mode in (
+            ("flow", "flow"),
+            ("context", "context"),
+            ("combined", "combined"),
+        ):
+            assert main([verb, source_file, "1"]) == 0
+            legacy_out = capsys.readouterr().out
+            assert main(["profile", source_file, "1", "--mode", mode]) == 0
+            assert capsys.readouterr().out == legacy_out
+
+    def test_log_records_every_phase(self, source_file, tmp_path, capsys):
+        import json
+
+        log = str(tmp_path / "run.log.jsonl")
+        assert main(
+            ["profile", source_file, "1", "--mode", "combined", "--log", log]
+        ) == 0
+        capsys.readouterr()
+        events = [json.loads(line) for line in open(log)]
+        assert [e["event"] for e in events] == ["phase"] * 5
+        assert [e["phase"] for e in events] == [
+            "clone", "instrument", "decode", "run", "collect",
+        ]
+        assert all(e["seconds"] >= 0 and e["command"] == "profile" for e in events)
+
+    def test_custom_pic_events(self, source_file, capsys):
+        assert main(
+            ["profile", source_file, "1", "--pic0", "cycles", "--pic1", "branches"]
+        ) == 0
+        assert "paths by L1D misses" in capsys.readouterr().out
+
+    def test_unknown_event_is_one_line_error(self, source_file, capsys):
+        assert main(["profile", source_file, "1", "--pic1", "BOGUS"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown pic1_event 'BOGUS'")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_shard_run_logs_phases(self, source_file, tmp_path, capsys):
+        import json
+        import os
+
+        keep = str(tmp_path)
+        assert main(
+            ["shard-run", source_file, "--inputs", "1;2", "--shards", "2",
+             "--keep", keep]
+        ) == 0
+        capsys.readouterr()
+        events = [
+            json.loads(line)
+            for line in open(os.path.join(keep, "run.log.jsonl"))
+        ]
+        phases = [e for e in events if e["event"] == "phase"]
+        assert phases and all(e["seconds"] >= 0 for e in phases)
+        assert {e["phase"] for e in phases} == {
+            "clone", "instrument", "decode", "run", "collect",
+        }
+        assert all("shard" in e for e in phases)

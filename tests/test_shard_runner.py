@@ -114,6 +114,24 @@ class TestSpecValidation:
         with pytest.raises(ValueError, match="unknown mode"):
             ShardSpec(source=SOURCE, mode="edge")
 
+    def test_unknown_mode_is_a_typed_error_naming_the_mode(self):
+        from repro.session import ProfileSpecError
+
+        with pytest.raises(ProfileSpecError, match="unknown mode 'bogus'"):
+            ShardSpec(source=SOURCE, mode="bogus")
+
+    def test_embedded_profile_spec_drives_the_run(self):
+        from repro.session import ProfileSpec
+
+        profile = ProfileSpec(mode="flow_hw", inputs=INPUTS)
+        spec = ShardSpec(source=SOURCE, profile=profile)
+        assert spec.mode == "flow_hw"
+        assert spec.inputs == INPUTS
+        # Legacy keywords override fields of an explicit profile.
+        overridden = ShardSpec(source=SOURCE, profile=profile, mode="context_hw")
+        assert overridden.profile.mode == "context_hw"
+        assert overridden.inputs == INPUTS
+
     def test_exactly_one_program_source(self):
         with pytest.raises(ValueError, match="exactly one"):
             ShardSpec(source=SOURCE, workload="129.compress")
@@ -153,6 +171,44 @@ class TestManifestAndResume:
         raw = spec_to_json(ShardSpec(source=SOURCE, inputs=INPUTS))
         raw["future_knob"] = "whatever"
         assert spec_from_json(raw) == ShardSpec(source=SOURCE, inputs=INPUTS)
+
+    def test_manifest_embeds_the_profile_spec(self):
+        spec = ShardSpec(
+            source=SOURCE, inputs=INPUTS, mode="flow_hw", placement="simple"
+        )
+        raw = spec_to_json(spec)
+        assert raw["profile"]["mode"] == "flow_hw"
+        assert raw["profile"]["placement"] == "simple"
+        assert raw["profile"]["inputs"] == [list(args) for args in INPUTS]
+        for legacy_key in ("mode", "placement", "by_site", "inputs", "engine"):
+            assert legacy_key not in raw
+
+    def test_legacy_manifest_spec_still_loads(self):
+        # Manifests written before the embedded ProfileSpec carried the
+        # profiling knobs at top level; they must keep resuming.
+        raw = {
+            "workload": None,
+            "scale": 1.0,
+            "source": SOURCE,
+            "asm": None,
+            "inputs": [[4], [7]],
+            "mode": "context_hw",
+            "engine": "simple",
+            "retries": 3,
+            "timeout": 7.5,
+            "backoff": 0.25,
+        }
+        spec = spec_from_json(raw)
+        assert spec == ShardSpec(
+            source=SOURCE,
+            inputs=((4,), (7,)),
+            mode="context_hw",
+            engine="simple",
+            retries=3,
+            timeout=7.5,
+            backoff=0.25,
+        )
+        assert spec.profile.mode == "context_hw"
 
     def test_manifest_describes_the_split(self, tmp_path):
         spec = ShardSpec(source=SOURCE, inputs=INPUTS)
