@@ -206,6 +206,54 @@ def _merge_table(tables: Dict[str, object], name: str, table: CounterTable) -> N
     existing.out_of_range += table.out_of_range
 
 
+def walk_lockstep(left, right) -> Iterable[tuple]:
+    """Walk two CCTs in lockstep, yielding every calling context either
+    operand reached.
+
+    Yields ``(context, left_record, right_record)`` triples where
+    ``context`` is a tuple of ``(slot_index, procedure)`` pairs from the
+    root down (the root itself is the empty context) and a record is
+    ``None`` for a context only the other operand reached.  Matching is
+    exactly the merge unification — slots pair by index, callees by
+    procedure identifier — and recursion backedges are skipped (their
+    counts live at the matched ancestor, which would otherwise be
+    visited twice).  The regression detector diffs per-context metrics
+    over this walk, so a context one run never entered is compared
+    against an implicit zero rather than silently dropped.
+
+    ``left``/``right`` are anything with a ``root`` (runtime, loaded
+    dump, merge result).  :class:`MergeError` if the roots' identifiers
+    differ — such operands describe different programs.
+    """
+    lroot = getattr(left, "root", left)
+    rroot = getattr(right, "root", right)
+    if lroot.id != rroot.id:
+        raise MergeError(f"root identifiers differ: {sorted({lroot.id, rroot.id})}")
+
+    def visit(context, lrec, rrec):
+        yield context, lrec, rrec
+        nslots = max(
+            lrec.nslots if lrec is not None else 0,
+            rrec.nslots if rrec is not None else 0,
+        )
+        for index in range(nslots):
+            lkids: Dict[str, CallRecord] = {}
+            rkids: Dict[str, CallRecord] = {}
+            for record, kids in ((lrec, lkids), (rrec, rkids)):
+                if record is None:
+                    continue
+                _, callees = _slot_callees(record, index)
+                for callee in callees:
+                    if callee.parent is record:
+                        kids[callee.id] = callee
+            for proc in sorted(set(lkids) | set(rkids)):
+                yield from visit(
+                    context + ((index, proc),), lkids.get(proc), rkids.get(proc)
+                )
+
+    yield from visit((), lroot, rroot)
+
+
 # -- canonical heap layout ---------------------------------------------------
 
 
@@ -385,4 +433,5 @@ __all__ = [
     "empty_cct",
     "merge_ccts",
     "strict_form",
+    "walk_lockstep",
 ]

@@ -134,6 +134,10 @@ def load_cct(path: str) -> LoadedCCT:
     missing, truncated, not JSON, or structurally not a CCT dump —
     partial shard checkpoints must surface as a typed, reportable
     condition, not a raw parse traceback.
+
+    Loading is all-or-nothing: every numeric field is validated while
+    reconstructing, so a corrupt dump fails *here* rather than lazily
+    inside a later merge after the merge target was partially mutated.
     """
     try:
         with open(path) as handle:
@@ -152,14 +156,36 @@ def load_cct(path: str) -> LoadedCCT:
         ) from exc
 
 
+def _int(value, what: str) -> int:
+    """Eager integer validation for reconstructed values.
+
+    Every numeric field is checked *while loading* so that a corrupt
+    dump is a :class:`CCTLoadError` at :func:`load_cct` time, never a
+    lazy ``TypeError`` deep inside a later merge after that merge has
+    already half-mutated its target — and never a silently wrong
+    profile (a string ``"12"`` would otherwise reconstruct metrics as
+    a list of characters).
+    """
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"{what} must be an integer, got {value!r}")
+    return value
+
+
+def _int_list(values, what: str) -> List[int]:
+    if not isinstance(values, list):
+        raise ValueError(f"{what} must be a list of integers, got {values!r}")
+    return [_int(value, what) for value in values]
+
+
 def _reconstruct(path: str, payload: dict) -> LoadedCCT:
     raw_records = payload["records"]
     records: List[CallRecord] = []
     for raw in raw_records:
+        metrics = _int_list(raw["metrics"], "record metrics")
         record = CallRecord(
-            raw["id"], None, len(raw["slots"]), len(raw["metrics"]), raw["addr"]
+            raw["id"], None, len(raw["slots"]), len(metrics), _int(raw["addr"], "addr")
         )
-        record.metrics = list(raw["metrics"])
+        record.metrics = metrics
         records.append(record)
     for record, raw in zip(records, raw_records):
         if raw["parent"] is not None:
@@ -175,20 +201,32 @@ def _reconstruct(path: str, payload: dict) -> LoadedCCT:
                 # addresses were persisted; such cells load as 0.
                 addrs = slot.get("addrs") or [0] * len(slot["list"])
                 for child_index, addr in zip(slot["list"], addrs):
-                    lst.nodes.append(ListNode(records[child_index], addr))
+                    lst.nodes.append(
+                        ListNode(records[child_index], _int(addr, "cell addr"))
+                    )
                 record.slots[index] = lst
         for name, raw_table in raw["path_tables"].items():
             table = CounterTable(
                 raw_table["name"],
                 -1,
-                raw_table.get("base", 0),
-                raw_table["capacity"],
-                raw_table["metric_slots"],
+                _int(raw_table.get("base", 0), "table base"),
+                _int(raw_table["capacity"], "table capacity"),
+                _int(raw_table["metric_slots"], "table metric_slots"),
                 TableKind(raw_table["kind"]),
-                buckets=raw_table["buckets"],
+                buckets=_int(raw_table["buckets"], "table buckets"),
             )
-            table.counts = {int(k): v for k, v in raw_table["counts"].items()}
-            table.metrics = {int(k): list(v) for k, v in raw_table["metrics"].items()}
-            table.out_of_range = raw_table.get("out_of_range", 0)
+            table.counts = {
+                int(k): _int(v, f"table {name!r} count")
+                for k, v in raw_table["counts"].items()
+            }
+            table.metrics = {
+                int(k): _int_list(v, f"table {name!r} metrics")
+                for k, v in raw_table["metrics"].items()
+            }
+            table.out_of_range = _int(
+                raw_table.get("out_of_range", 0), "table out_of_range"
+            )
             record.path_tables[name] = table
-    return LoadedCCT(records[payload["root"]], records, payload["heap_bytes"])
+    return LoadedCCT(
+        records[payload["root"]], records, _int(payload["heap_bytes"], "heap_bytes")
+    )

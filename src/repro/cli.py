@@ -19,6 +19,14 @@ Commands:
   manifest, and a JSONL run log land in ``--keep``, failed workers are
   retried (``--max-retries``/``--timeout``), and ``--resume MANIFEST``
   finishes an interrupted run;
+* ``diff FILE --first/--second`` — path-spectrum diff of two inputs;
+  ``diff BASE CAND --store DIR`` — regression diff of two *stored*
+  profiles (counter drift, per-context deltas, hot-path churn), human
+  or ``--json``, exit 1 on a degradation verdict;
+* ``ci [REF] --store DIR`` — the regression gate: compare a stored run
+  against the most recent earlier run of the same spec and workload,
+  exit 1 on degradation (``profile --store DIR`` is what persists
+  runs);
 * ``table N`` — regenerate one of the paper's tables over the suite
   (Table 3 optionally through the sharded driver);
 * ``bench [--instrumented]`` — engine throughput over the suite,
@@ -257,19 +265,31 @@ def cmd_profile(args) -> int:
     session = _make_session(args)
     spec = _build_spec(mode, args)
     run_args = _int_args(args.args)
+    store = None
+    if getattr(args, "store", None):
+        from repro.store import ProfileStore
+
+        store = ProfileStore(args.store)
+    workload = getattr(args, "workload", None)
     if mode == "flow_hw":
         base = session.run(replace(spec, mode="baseline"), program, run_args)
-        run = session.run(spec, program, run_args)
-        return _report_flow(base, run, args)
-    run = session.run(spec, program, run_args)
-    report = {
-        "baseline": _report_baseline,
-        "flow_freq": _report_flow_freq,
-        "context_hw": _report_context,
-        "context_flow": _report_combined,
-        "edge": _report_edges,
-    }[mode]
-    return report(run, args)
+        run = session.run(
+            spec, program, run_args, store=store, workload=workload
+        )
+        status = _report_flow(base, run, args)
+    else:
+        run = session.run(spec, program, run_args, store=store, workload=workload)
+        report = {
+            "baseline": _report_baseline,
+            "flow_freq": _report_flow_freq,
+            "context_hw": _report_context,
+            "context_flow": _report_combined,
+            "edge": _report_edges,
+        }[mode]
+        status = report(run, args)
+    if run.stored_as is not None:
+        print(f"\nstored as {run.stored_as[:12]} in {args.store}")
+    return status
 
 
 def cmd_flow(args) -> int:
@@ -304,8 +324,70 @@ def cmd_coverage(args) -> int:
     return 0
 
 
+def _store_thresholds(args):
+    from repro.store import Thresholds
+
+    return Thresholds(
+        ratio=args.ratio, min_count=args.min_count, top_k=args.top_k
+    )
+
+
+def _print_diff_report(report, as_json: bool) -> None:
+    if as_json:
+        import json
+
+        print(json.dumps(report.to_json(), indent=2))
+        return
+    print(
+        f"baseline {report.baseline[:12]}  candidate {report.candidate[:12]}  "
+        f"spec {report.spec_digest[:12]}"
+    )
+    print(f"verdict: {report.verdict.value}")
+    for detector in report.detectors:
+        print(
+            f"  {detector.name}: {detector.verdict.value} "
+            f"({detector.checked} checked, {len(detector.findings)} finding(s))"
+        )
+    if report.findings:
+        rows = [
+            {
+                "Detector": f.detector,
+                "Subject": f.subject[:60],
+                "Baseline": f.baseline,
+                "Candidate": f.candidate,
+                "Delta": f"{f.delta:+d}",
+                "Verdict": f.verdict.value,
+            }
+            for f in report.findings
+        ]
+        print(format_table(rows, title="findings"))
+
+
+def _cmd_store_diff(args) -> int:
+    """Regression diff of two stored profiles: ``diff BASE CAND --store``."""
+    from repro.store import DetectError, ProfileStore, StoreError, Verdict, diff_profiles
+
+    if not args.store:
+        print(
+            "error: diff between stored refs requires --store DIR", file=sys.stderr
+        )
+        return 2
+    try:
+        store = ProfileStore(args.store)
+        base = store.load(args.file)
+        cand = store.load(args.candidate)
+        report = diff_profiles(base, cand, _store_thresholds(args))
+    except (StoreError, DetectError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_diff_report(report, args.json)
+    return 1 if report.verdict is Verdict.DEGRADATION else 0
+
+
 def cmd_diff(args) -> int:
-    """Spectrum diff of two runs with different arguments ([RBDL97])."""
+    """Spectrum diff of two inputs, or regression diff of two stored refs."""
+    if args.candidate is not None:
+        return _cmd_store_diff(args)
     from repro.profiles.spectra import spectrum_diff
     from repro.tools.pp import PP
 
@@ -327,6 +409,44 @@ def cmd_diff(args) -> int:
         fpp_second = second.path_profile.functions[name]
         for path_sum in sorted(diff.only_second.get(name, ())):
             print(f"  {name}: only run B: {fpp_second.decode(path_sum).describe()}")
+    return 0
+
+
+def cmd_ci(args) -> int:
+    """The regression gate: a stored run against its stored baseline.
+
+    The baseline is the most recent *earlier* run of the same spec
+    digest and workload (code fingerprint deliberately ignored — the
+    gate compares across code versions).  No baseline means the gate
+    passes trivially; a ``degradation`` verdict is exit code 1.
+    """
+    from repro.store import DetectError, ProfileStore, StoreError, Verdict, diff_profiles
+
+    if not args.store:
+        print("error: ci requires --store DIR", file=sys.stderr)
+        return 2
+    try:
+        store = ProfileStore(args.store)
+        cand = store.load(args.ref)
+        base = store.baseline_for(cand)
+        if base is None:
+            print(
+                f"ci: {cand.run_id[:12]} has no earlier run of spec "
+                f"{cand.spec_digest[:12]} on workload {cand.workload!r}; "
+                f"gate passes trivially"
+            )
+            return 0
+        report = diff_profiles(base, cand, _store_thresholds(args))
+    except (StoreError, DetectError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_diff_report(report, args.json)
+    if report.verdict is Verdict.DEGRADATION:
+        if not args.json:
+            print("ci: FAIL (degradation)")
+        return 1
+    if not args.json:
+        print(f"ci: OK ({report.verdict.value})")
     return 0
 
 
@@ -616,6 +736,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--log",
         help="append structured JSONL phase events (wall-time per phase) here",
     )
+    profile.add_argument(
+        "--store",
+        help="persist the finished run into this profile-store directory",
+    )
+    profile.add_argument(
+        "--workload",
+        help="workload id the stored run is keyed under "
+        "(default: derived from the code fingerprint)",
+    )
     flow = add_program_command("flow", cmd_flow, "hot paths with HW metrics")
     flow.add_argument("--threshold", type=float, default=0.01)
     flow.add_argument(
@@ -689,13 +818,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     shard.set_defaults(fn=cmd_shard_run)
 
+    def add_store_flags(p):
+        p.add_argument("--store", help="profile-store directory")
+        p.add_argument("--json", action="store_true", help="machine-readable report")
+        p.add_argument(
+            "--ratio",
+            type=float,
+            default=0.05,
+            help="relative change above which a pair is a verdict",
+        )
+        p.add_argument(
+            "--min-count",
+            type=int,
+            default=32,
+            help="absolute count floor below which a pair is noise",
+        )
+        p.add_argument(
+            "--top-k", type=int, default=10, help="hot-path set size for churn"
+        )
+
     diff = sub.add_parser(
-        "diff", help="path-spectrum diff of two inputs ([RBDL97])"
+        "diff",
+        help="path-spectrum diff of two inputs, or regression diff of two "
+        "stored profile refs (--store)",
     )
-    diff.add_argument("file")
+    diff.add_argument("file", metavar="file_or_base_ref")
+    diff.add_argument(
+        "candidate",
+        nargs="?",
+        default=None,
+        metavar="candidate_ref",
+        help="second stored ref: diff stored profiles instead of spectra",
+    )
     diff.add_argument("--first", default="", help="comma-separated args, run A")
     diff.add_argument("--second", default="", help="comma-separated args, run B")
+    add_store_flags(diff)
     diff.set_defaults(fn=cmd_diff)
+
+    ci = sub.add_parser(
+        "ci",
+        help="regression gate: a stored run vs. the previous run of its "
+        "spec+workload (exit 1 on degradation)",
+    )
+    ci.add_argument(
+        "ref",
+        nargs="?",
+        default="latest",
+        help="stored run to gate (default: latest)",
+    )
+    add_store_flags(ci)
+    ci.set_defaults(fn=cmd_ci)
 
     bench = sub.add_parser(
         "bench", help="engine throughput benchmark (writes the JSON gate)"

@@ -54,6 +54,26 @@ def perturbation_ratios(
     return ratios
 
 
+def inject_counter_perturbation(
+    counters: Dict[Event, int], event: Event, factor: float
+) -> Dict[Event, int]:
+    """A counter bank with one event's count scaled by ``factor``.
+
+    The inverse experiment to :func:`perturbation_ratios`: instead of
+    measuring how instrumentation disturbed the counters, *synthesize*
+    a disturbance — ``factor`` > 1 models a regression in that metric,
+    ``factor`` < 1 an improvement.  The input bank is not modified.
+    Used by the regression-gate tests to prove the store's detectors
+    flip from ``ok`` to a verdict when a known perturbation is applied.
+    """
+    if factor < 0:
+        raise ValueError("perturbation factor must be >= 0")
+    perturbed = dict(counters)
+    if event in perturbed:
+        perturbed[event] = int(round(perturbed[event] * factor))
+    return perturbed
+
+
 def estimate_instrumentation_instructions(flow: FlowInstrumentation) -> int:
     """Instructions attributable to path instrumentation, from frequencies.
 

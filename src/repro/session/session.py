@@ -45,7 +45,8 @@ if TYPE_CHECKING:  # pragma: no cover - avoids a cycle with repro.tools
     from repro.tools.runlog import RunLog
 
 #: Pipeline phases, in execution order (the ``phase`` field of the
-#: JSONL events a session emits).
+#: JSONL events a session emits).  A run given a ``store=`` sink emits
+#: one additional ``store`` phase after ``collect``.
 PHASES = ("clone", "instrument", "decode", "run", "collect")
 
 
@@ -67,6 +68,9 @@ class ProfileRun:
     context: Optional[ContextInstrumentation] = None
     cct: Optional[CCTRuntime] = None
     path_profile: Optional[PathProfile] = None
+    #: Run id in the :class:`~repro.store.ProfileStore` this run was
+    #: persisted to, when the session was given a ``store=`` sink.
+    stored_as: Optional[str] = None
 
     @property
     def cycles(self) -> int:
@@ -206,12 +210,20 @@ class ProfileSession:
         spec: ProfileSpec,
         program: Program,
         args: Optional[Sequence[int]] = None,
+        *,
+        store=None,
+        workload: Optional[str] = None,
     ) -> ProfileRun:
         """The full pipeline: one profiling run of ``program``.
 
         ``args`` defaults to the spec's first input tuple, so a spec
         describing a single run is self-contained; the sharded runner
         passes each input of the set explicitly.
+
+        ``store`` (a :class:`~repro.store.ProfileStore`) persists the
+        finished run — keyed under ``workload``, defaulting to the
+        code fingerprint — as a sixth ``store`` phase; the resulting
+        run id lands in :attr:`ProfileRun.stored_as`.
         """
         if args is None:
             args = spec.inputs[0] if spec.inputs else ()
@@ -246,7 +258,7 @@ class ProfileSession:
                 cct_runtime=machine.cct_runtime if spec.per_context else None,
             )
         self._phase("collect", started, spec)
-        return ProfileRun(
+        profile_run = ProfileRun(
             spec.label,
             inst.program,
             machine,
@@ -257,6 +269,19 @@ class ProfileSession:
             cct=machine.cct_runtime,
             path_profile=profile,
         )
+        if store is not None:
+            from repro.store.store import code_fingerprint
+
+            started = time.perf_counter()
+            if workload is None:
+                workload = f"inline:{code_fingerprint(program)[:12]}"
+            profile_run.stored_as = store.save_run(
+                spec, profile_run, workload=workload, program=program
+            )
+            self._phase(
+                "store", started, spec, run_id=profile_run.stored_as, workload=workload
+            )
+        return profile_run
 
 
 __all__ = [

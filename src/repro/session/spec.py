@@ -148,6 +148,21 @@ class ProfileSpec:
 
     # -- serialization ---------------------------------------------------------
 
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSON encoding of this spec.
+
+        The profile store's compatibility key: two runs are diffable
+        iff their spec digests agree, because the digest pins every
+        knob that shapes the profile — mode, events, placement,
+        instrumentation scope, and the input set.
+        """
+        import hashlib
+        import json
+
+        return hashlib.sha256(
+            json.dumps(self.to_json(), sort_keys=True).encode()
+        ).hexdigest()
+
     def to_json(self) -> dict:
         """A JSON-safe description; inverse of :meth:`from_json`."""
         return {

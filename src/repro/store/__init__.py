@@ -1,0 +1,44 @@
+"""Content-addressed profile store and regression detection.
+
+``ProfileStore`` persists CCT dumps, path/edge profiles, and run
+metadata keyed by ``(ProfileSpec digest, workload, code fingerprint)``;
+``diff_profiles`` diffs two stored runs into typed verdicts.  See
+``docs/API.md`` ("Profile store & regression detection").
+"""
+
+from repro.store.detect import (
+    DetectError,
+    DetectorReport,
+    DiffReport,
+    Finding,
+    Thresholds,
+    Verdict,
+    diff_profiles,
+)
+from repro.store.encode import StoredFunctionPaths
+from repro.store.iojson import (
+    canonical_json,
+    json_digest,
+    payload_digest,
+    write_json_atomic,
+)
+from repro.store.store import ProfileStore, StoredProfile, StoreError, code_fingerprint
+
+__all__ = [
+    "DetectError",
+    "DetectorReport",
+    "DiffReport",
+    "Finding",
+    "ProfileStore",
+    "StoreError",
+    "StoredFunctionPaths",
+    "StoredProfile",
+    "Thresholds",
+    "Verdict",
+    "canonical_json",
+    "code_fingerprint",
+    "diff_profiles",
+    "json_digest",
+    "payload_digest",
+    "write_json_atomic",
+]

@@ -1,0 +1,369 @@
+"""Regression detection over stored profiles.
+
+Three detectors diff two :class:`~repro.store.store.StoredProfile`
+operands of the same spec digest:
+
+* ``counters`` — overhead / instruction-count drift of the whole-run
+  hardware-counter bank, one finding per gated event;
+* ``contexts`` — per-context counter deltas over a lockstep walk of
+  the two CCTs (:func:`repro.cct.merge.walk_lockstep`, the same
+  slot/procedure unification the merge algebra uses), so a context
+  only one run reached shows up against an implicit zero;
+* ``hot_paths`` — churn of the top-k hot paths: which paths entered
+  and exited the hot set, and whether the entering paths carry more
+  weight than the exiting ones.
+
+Every judgement runs through one threshold model
+(:class:`Thresholds`): a pair below the absolute ``min_count`` floor
+is noise (``ok``); otherwise the *symmetric* relative change
+``(candidate - baseline) / max(baseline, candidate)`` is compared
+against ``ratio``.  The symmetric denominator makes the algebra's
+mirror law exact at the judgement level: swapping the operands
+mirrors every judged pair's verdict (``degradation`` <->
+``optimization``, ``ok`` fixed).  Detector and report verdicts are
+severity maxima (:func:`worst`) over their pairs, which deliberately
+does *not* commute with mirroring: a mixed result — a degradation
+here, an optimization there — is a degradation in both diff
+directions, so a regression can never net out against an unrelated
+improvement.  ``tests/test_store_detect.py`` derives the reverse
+report from the forward findings and checks both levels exactly on
+generated profiles, alongside ``diff(p, p)`` being all-``ok``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.cct.merge import MergeError, walk_lockstep
+from repro.machine.counters import Event
+from repro.store.store import StoredProfile
+
+
+class Verdict(str, Enum):
+    OK = "ok"
+    DEGRADATION = "degradation"
+    OPTIMIZATION = "optimization"
+
+
+#: ``diff(b, a)`` maps each verdict of ``diff(a, b)`` through this.
+MIRROR = {
+    Verdict.OK: Verdict.OK,
+    Verdict.DEGRADATION: Verdict.OPTIMIZATION,
+    Verdict.OPTIMIZATION: Verdict.DEGRADATION,
+}
+
+#: Severity order for aggregation: a degradation anywhere dominates.
+_SEVERITY = {Verdict.OK: 0, Verdict.OPTIMIZATION: 1, Verdict.DEGRADATION: 2}
+
+
+def worst(verdicts) -> Verdict:
+    """The aggregate verdict: degradation > optimization > ok."""
+    result = Verdict.OK
+    for verdict in verdicts:
+        if _SEVERITY[verdict] > _SEVERITY[result]:
+            result = verdict
+    return result
+
+
+class DetectError(ValueError):
+    """The operands cannot be diffed (e.g. different spec digests)."""
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """The configurable threshold model shared by every detector.
+
+    ``ratio`` — symmetric relative change above which a pair is a
+    verdict; ``min_count`` — absolute floor below which a pair is
+    noise; ``top_k`` — hot-set size for the churn detector;
+    ``events`` — the counter events the drift detector gates on.
+    """
+
+    ratio: float = 0.05
+    min_count: int = 32
+    top_k: int = 10
+    events: Tuple[Event, ...] = (
+        Event.INSTRS,
+        Event.CYCLES,
+        Event.DC_MISS,
+        Event.IC_MISS,
+        Event.BR_MISPRED,
+    )
+
+    def judge(self, baseline: int, candidate: int) -> Verdict:
+        """One pair through the model.  Antisymmetric by construction:
+        swapping the operands negates the ratio, mirroring the verdict."""
+        magnitude = max(baseline, candidate)
+        if magnitude < self.min_count:
+            return Verdict.OK
+        ratio = (candidate - baseline) / magnitude
+        if ratio > self.ratio:
+            return Verdict.DEGRADATION
+        if ratio < -self.ratio:
+            return Verdict.OPTIMIZATION
+        return Verdict.OK
+
+    def to_json(self) -> dict:
+        return {
+            "ratio": self.ratio,
+            "min_count": self.min_count,
+            "top_k": self.top_k,
+            "events": [event.name for event in self.events],
+        }
+
+
+@dataclass
+class Finding:
+    """One judged pair: a counter, a context, or a hot path."""
+
+    detector: str
+    subject: str
+    baseline: int
+    candidate: int
+    verdict: Verdict
+
+    @property
+    def delta(self) -> int:
+        return self.candidate - self.baseline
+
+    def to_json(self) -> dict:
+        return {
+            "detector": self.detector,
+            "subject": self.subject,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "delta": self.delta,
+            "verdict": self.verdict.value,
+        }
+
+
+@dataclass
+class DetectorReport:
+    """One detector's verdict plus its non-``ok`` findings."""
+
+    name: str
+    verdict: Verdict
+    #: Pairs examined (contexts walked, events compared, paths ranked).
+    checked: int
+    findings: List[Finding] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "detector": self.name,
+            "verdict": self.verdict.value,
+            "checked": self.checked,
+            "findings": [finding.to_json() for finding in self.findings],
+        }
+
+
+@dataclass
+class DiffReport:
+    """The full diff of two stored profiles."""
+
+    baseline: str
+    candidate: str
+    spec_digest: str
+    thresholds: Thresholds
+    detectors: List[DetectorReport]
+
+    @property
+    def verdict(self) -> Verdict:
+        return worst(report.verdict for report in self.detectors)
+
+    @property
+    def findings(self) -> List[Finding]:
+        return [f for report in self.detectors for f in report.findings]
+
+    def to_json(self) -> dict:
+        return {
+            "format": "repro-diff-report-v1",
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "spec_digest": self.spec_digest,
+            "verdict": self.verdict.value,
+            "thresholds": self.thresholds.to_json(),
+            "detectors": [report.to_json() for report in self.detectors],
+        }
+
+
+# -- the detectors -----------------------------------------------------------
+
+
+def _counter_drift(
+    base: StoredProfile, cand: StoredProfile, t: Thresholds
+) -> DetectorReport:
+    findings = []
+    checked = 0
+    for event in t.events:
+        before = base.counters.get(event, 0)
+        after = cand.counters.get(event, 0)
+        if not before and not after:
+            continue
+        checked += 1
+        verdict = t.judge(before, after)
+        if verdict is not Verdict.OK:
+            findings.append(Finding("counters", event.name, before, after, verdict))
+    return DetectorReport(
+        "counters", worst(f.verdict for f in findings), checked, findings
+    )
+
+
+def _context_label(context) -> str:
+    return " -> ".join(proc for _, proc in context) or "<root>"
+
+
+def _record_cost(record) -> int:
+    """The cost metric of one CCT record: PIC0 if present, else calls."""
+    if record is None or not record.metrics:
+        return 0
+    return record.metrics[1] if len(record.metrics) > 1 else record.metrics[0]
+
+
+def _context_deltas(
+    base: StoredProfile, cand: StoredProfile, t: Thresholds
+) -> Optional[DetectorReport]:
+    if base.cct is None or cand.cct is None:
+        return None
+    findings = []
+    verdicts = []
+    checked = 0
+    try:
+        pairs = list(walk_lockstep(base.cct, cand.cct))
+    except MergeError as exc:
+        raise DetectError(f"CCTs are not structurally comparable: {exc}") from exc
+    for context, left, right in pairs:
+        if not context:
+            continue  # the root aggregates everything below it
+        checked += 1
+        before, after = _record_cost(left), _record_cost(right)
+        verdict = t.judge(before, after)
+        verdicts.append(verdict)
+        if verdict is not Verdict.OK:
+            findings.append(
+                Finding("contexts", _context_label(context), before, after, verdict)
+            )
+    findings.sort(key=lambda f: (-abs(f.delta), f.subject))
+    return DetectorReport("contexts", worst(verdicts), checked, findings)
+
+
+def _path_weights(
+    paths: Dict[str, object], use_metrics: bool
+) -> Dict[Tuple[str, int], int]:
+    weights: Dict[Tuple[str, int], int] = {}
+    for name, fpp in paths.items():
+        for path_sum, freq in fpp.counts.items():
+            if use_metrics:
+                values = fpp.metrics.get(path_sum, ())
+                weight = values[1] if len(values) > 1 else 0
+            else:
+                weight = freq
+            if weight > 0:
+                weights[(name, path_sum)] = weight
+    return weights
+
+
+def _hot_set(weights: Dict[Tuple[str, int], int], k: int) -> List[Tuple[str, int]]:
+    ranked = sorted(weights, key=lambda key: (-weights[key], key))
+    return ranked[:k]
+
+
+def _has_metrics(paths) -> bool:
+    return any(
+        len(values) > 1
+        for fpp in paths.values()
+        for values in fpp.metrics.values()
+    )
+
+
+def _hot_path_churn(
+    base: StoredProfile, cand: StoredProfile, t: Thresholds
+) -> Optional[DetectorReport]:
+    if base.paths is None or cand.paths is None:
+        return None
+    # Rank by the miss metric when both operands carry metrics (the
+    # paper's hot-path criterion), by frequency otherwise — the same
+    # rule on both sides, so the mirror law holds.
+    use_metrics = _has_metrics(base.paths) and _has_metrics(cand.paths)
+    before = _path_weights(base.paths, use_metrics)
+    after = _path_weights(cand.paths, use_metrics)
+    hot_before = _hot_set(before, t.top_k)
+    hot_after = _hot_set(after, t.top_k)
+    entered = [key for key in hot_after if key not in hot_before]
+    exited = [key for key in hot_before if key not in hot_after]
+
+    findings = []
+    for name, path_sum in entered:
+        key = (name, path_sum)
+        findings.append(
+            Finding(
+                "hot_paths",
+                f"{name}#path{path_sum} entered top-{t.top_k}",
+                before.get(key, 0),
+                after.get(key, 0),
+                t.judge(before.get(key, 0), after.get(key, 0)),
+            )
+        )
+    for name, path_sum in exited:
+        key = (name, path_sum)
+        findings.append(
+            Finding(
+                "hot_paths",
+                f"{name}#path{path_sum} exited top-{t.top_k}",
+                before.get(key, 0),
+                after.get(key, 0),
+                t.judge(before.get(key, 0), after.get(key, 0)),
+            )
+        )
+    # The detector verdict weighs the churn as a whole: entering paths
+    # carrying more weight than the exiting ones means the hot set got
+    # more expensive.
+    weight_exited = sum(before.get(key, 0) for key in exited)
+    weight_entered = sum(after.get(key, 0) for key in entered)
+    verdict = t.judge(weight_exited, weight_entered)
+    checked = len(set(hot_before) | set(hot_after))
+    return DetectorReport("hot_paths", verdict, checked, findings)
+
+
+def diff_profiles(
+    base: StoredProfile,
+    cand: StoredProfile,
+    thresholds: Optional[Thresholds] = None,
+) -> DiffReport:
+    """Diff two stored profiles of the same spec digest.
+
+    :class:`DetectError` if the digests differ — comparability is what
+    content-addressing by spec digest buys, so crossing digests is a
+    usage error, not a degraded comparison.
+    """
+    t = thresholds or Thresholds()
+    if base.spec_digest != cand.spec_digest:
+        raise DetectError(
+            f"profiles are not spec-compatible: spec digests "
+            f"{base.spec_digest[:12]} vs {cand.spec_digest[:12]} differ"
+        )
+    detectors = [_counter_drift(base, cand, t)]
+    for optional in (_context_deltas(base, cand, t), _hot_path_churn(base, cand, t)):
+        if optional is not None:
+            detectors.append(optional)
+    return DiffReport(
+        baseline=base.run_id,
+        candidate=cand.run_id,
+        spec_digest=base.spec_digest,
+        thresholds=t,
+        detectors=detectors,
+    )
+
+
+__all__ = [
+    "DetectError",
+    "DetectorReport",
+    "DiffReport",
+    "Finding",
+    "MIRROR",
+    "Thresholds",
+    "Verdict",
+    "diff_profiles",
+    "worst",
+]

@@ -1,0 +1,164 @@
+"""JSON encodings for the store's flat profile blobs.
+
+The CCT already has a serialized form (:mod:`repro.cct.serialize`);
+this module gives the *flat* artifacts — hardware-counter banks, path
+profiles, edge profiles — equally strict round trips.  Decoding
+validates eagerly: every count is required to be an integer at load
+time, so a corrupt blob surfaces as a :class:`ValueError` (wrapped
+into a typed :class:`~repro.store.store.StoreError` by the store)
+instead of as a silently wrong profile or a lazy failure deep inside
+a later diff.
+
+Path counts reuse the string-keyed sparse-map round trip the shard
+checkpoints standardized (:mod:`repro.profiles.merge`); what's added
+here is the per-function envelope (potential-path counts — the
+numbering-compatibility witness the merge layer also keys on) and the
+decoded :class:`StoredFunctionPaths` view the detector layer walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.machine.counters import Event
+from repro.profiles.merge import (
+    counts_from_json,
+    counts_to_json,
+    metric_maps_from_json,
+    metric_maps_to_json,
+)
+
+
+def _require_int(value, what: str) -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"{what} must be an integer, got {value!r}")
+    return value
+
+
+def counters_to_json(counters: Dict[Event, int]) -> Dict[str, int]:
+    """Event-keyed counter bank -> name-keyed JSON object."""
+    return {event.name: int(counters[event]) for event in Event if event in counters}
+
+
+def counters_from_json(raw: Dict[str, int]) -> Dict[Event, int]:
+    """Inverse of :func:`counters_to_json`; unknown events rejected."""
+    if not isinstance(raw, dict):
+        raise ValueError(f"counter bank must be an object, got {raw!r}")
+    counters: Dict[Event, int] = {}
+    for name, value in raw.items():
+        try:
+            event = Event[name]
+        except KeyError:
+            raise ValueError(f"unknown counter event {name!r}") from None
+        counters[event] = _require_int(value, f"counter {name}")
+    return counters
+
+
+@dataclass
+class StoredFunctionPaths:
+    """One function's flat path profile, as reloaded from a blob.
+
+    Carries no :class:`~repro.pathprof.numbering.PathNumbering` — a
+    stored profile is diffable without re-instrumenting the program;
+    path sums identify paths because both diff operands share the spec
+    (and therefore the numbering) by construction.
+    """
+
+    num_potential_paths: int
+    counts: Dict[int, int]
+    metrics: Dict[int, List[int]]
+
+    def total_freq(self) -> int:
+        return sum(self.counts.values())
+
+
+def path_profile_to_json(profile) -> dict:
+    """Encode a :class:`~repro.profiles.pathprofile.PathProfile` (or a
+    ``{name: StoredFunctionPaths}`` map reloaded earlier)."""
+    functions = getattr(profile, "functions", profile)
+    return {
+        name: {
+            "num_potential_paths": fpp.num_potential_paths,
+            "counts": counts_to_json({name: fpp.counts})[name],
+            "metrics": metric_maps_to_json({name: fpp.metrics})[name],
+        }
+        for name, fpp in sorted(functions.items())
+    }
+
+
+def path_profile_from_json(raw: dict) -> Dict[str, StoredFunctionPaths]:
+    """Inverse of :func:`path_profile_to_json`, validated eagerly."""
+    if not isinstance(raw, dict):
+        raise ValueError(f"path profile must be an object, got {raw!r}")
+    functions: Dict[str, StoredFunctionPaths] = {}
+    for name, body in raw.items():
+        if not isinstance(body, dict):
+            raise ValueError(f"path profile for {name!r} must be an object")
+        counts = counts_from_json({name: body.get("counts", {})})[name]
+        metrics = metric_maps_from_json({name: body.get("metrics", {})})[name]
+        for key, count in counts.items():
+            _require_int(count, f"{name} path {key} count")
+        for key, values in metrics.items():
+            for value in values:
+                _require_int(value, f"{name} path {key} metric")
+        functions[name] = StoredFunctionPaths(
+            _require_int(
+                body.get("num_potential_paths", 0), f"{name} potential paths"
+            ),
+            counts,
+            metrics,
+        )
+    return functions
+
+
+def edge_profile_to_json(edges) -> dict:
+    """Encode per-function edge counters.
+
+    ``edges`` is an :class:`~repro.instrument.edgeinstr.
+    EdgeInstrumentation` (live run) or an already-flat
+    ``{function: {edge_index: count}}`` map.
+    """
+    functions = getattr(edges, "functions", None)
+    if functions is not None:
+        flat = {name: info.table.nonzero() for name, info in functions.items()}
+    else:
+        flat = edges
+    return counts_to_json(flat)
+
+
+def edge_profile_from_json(raw: dict) -> Dict[str, Dict[int, int]]:
+    """Inverse of :func:`edge_profile_to_json`, validated eagerly."""
+    if not isinstance(raw, dict):
+        raise ValueError(f"edge profile must be an object, got {raw!r}")
+    flat = counts_from_json(raw)
+    for name, counts in flat.items():
+        for key, count in counts.items():
+            _require_int(count, f"{name} edge {key} count")
+    return flat
+
+
+def paths_of(profile) -> Optional[Dict[str, StoredFunctionPaths]]:
+    """A live :class:`PathProfile` as the stored view the detector walks."""
+    if profile is None:
+        return None
+    return {
+        name: StoredFunctionPaths(
+            fpp.num_potential_paths,
+            dict(fpp.counts),
+            {k: list(v) for k, v in fpp.metrics.items()},
+        )
+        for name, fpp in profile.functions.items()
+    }
+
+
+__all__ = [
+    "StoredFunctionPaths",
+    "counters_from_json",
+    "counters_to_json",
+    "edge_profile_from_json",
+    "edge_profile_to_json",
+    "path_profile_from_json",
+    "path_profile_to_json",
+    "paths_of",
+]

@@ -1,0 +1,62 @@
+"""Atomic JSON writes and canonical payload digests.
+
+The PR 4 fault-tolerance work taught the repo one durable idiom: every
+on-disk artifact is written to a same-directory temp file and renamed
+into place (a reader never sees a torn payload), and every payload
+carries or is addressed by a SHA-256 digest of its canonical JSON
+encoding.  The shard runner grew that machinery privately; the profile
+store is the second subsystem that needs it, so it lives here and both
+import it.  ``json.dumps(..., sort_keys=True)`` is the canonical
+encoding — kept byte-compatible with the digests PR 4 checkpoints
+already carry on disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+
+def canonical_json(payload: dict) -> str:
+    """The canonical encoding digests are computed over."""
+    return json.dumps(payload, sort_keys=True)
+
+
+def json_digest(payload: dict) -> str:
+    """SHA-256 of a payload's canonical JSON encoding."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def payload_digest(payload: dict) -> str:
+    """Digest of a payload minus its own ``digest`` field.
+
+    Self-digesting checkpoints store this under ``digest``; validation
+    recomputes it over the rest of the payload.
+    """
+    return json_digest({k: v for k, v in payload.items() if k != "digest"})
+
+
+def write_json_atomic(path: str, payload: dict) -> None:
+    """Write JSON via tmp-file + rename: readers never see a torn file.
+
+    A crash mid-write leaves any previous version of ``path`` intact;
+    the stray temp file (named with the writer's pid) is removed on the
+    way out when the rename never happened.
+    """
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+__all__ = [
+    "canonical_json",
+    "json_digest",
+    "payload_digest",
+    "write_json_atomic",
+]

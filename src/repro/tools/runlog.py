@@ -22,10 +22,12 @@ Events share a small envelope — ``seq`` (monotonic per writer),
 ``merge``                 ``shards_merged``, ``cct_digest``
 ``run_complete``          ``shards``
 ``run_failed``            ``shard``, ``attempts``, ``reason``
-``phase``                 ``phase`` (clone/instrument/decode/run/collect),
-                          ``mode``, ``seconds``; the decode phase adds
-                          ``engine``, the run phase ``instructions`` and
-                          ``cycles`` (emitted by
+``phase``                 ``phase`` (clone/instrument/decode/run/collect,
+                          plus ``store`` when the run is persisted to a
+                          profile store), ``mode``, ``seconds``; the
+                          decode phase adds ``engine``, the run phase
+                          ``instructions`` and ``cycles``, the store
+                          phase ``run_id`` and ``workload`` (emitted by
                           :class:`repro.session.ProfileSession`)
 ========================  ====================================================
 

@@ -42,7 +42,6 @@ pid) through the :class:`~repro.session.ProfileSession` they run on.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import tempfile
@@ -67,6 +66,8 @@ from repro.profiles.pathprofile import (
     collect_path_profile,
 )
 from repro.session import ProfileSession, ProfileSpec, ProfileSpecError
+from repro.store.iojson import payload_digest as _payload_digest
+from repro.store.iojson import write_json_atomic as _write_json_atomic
 from repro.tools.bench_runner import run_supervised
 from repro.tools.faults import FaultPlan
 from repro.tools.runlog import RunLog
@@ -339,24 +340,6 @@ def _result_path(workdir: str, shard: int) -> str:
 
 def _cct_dump_path(workdir: str, shard: int) -> str:
     return os.path.join(workdir, f"shard{shard}.cct.json")
-
-
-def _write_json_atomic(path: str, payload: dict) -> None:
-    tmp = f"{path}.tmp.{os.getpid()}"
-    try:
-        with open(tmp, "w") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp, path)
-    finally:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-
-
-def _payload_digest(payload: dict) -> str:
-    body = {key: value for key, value in payload.items() if key != "digest"}
-    return hashlib.sha256(
-        json.dumps(body, sort_keys=True).encode()
-    ).hexdigest()
 
 
 def _load_checkpoint(workdir: str, shard: int) -> dict:

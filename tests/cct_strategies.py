@@ -24,7 +24,9 @@ from hypothesis import strategies as st
 
 from repro.cct.records import ROOT_ID, CalleeList, CallRecord, ListNode
 from repro.instrument.tables import CounterTable, TableKind
+from repro.machine.counters import Event
 from repro.machine.memory import WORD, MemoryMap
+from repro.store.encode import StoredFunctionPaths
 
 PROCS = ["alpha", "beta", "gamma", "delta", "epsilon"]
 
@@ -138,3 +140,56 @@ def cct_trees(draw) -> FakeCCT:
     root = new_record(ROOT_ID, None, 1)
     populate(root, {}, 0)
     return FakeCCT(root, records, cursor[0] - base)
+
+
+@st.composite
+def counter_banks(draw) -> dict:
+    """A hardware-counter bank: a sparse ``{Event: count}`` map.
+
+    The events the store's drift detector gates on are always present
+    (so perturbing one of them is always observable); the rest of the
+    bank is a random sparse sample.
+    """
+    bank = {
+        event: draw(st.integers(min_value=0, max_value=1_000_000))
+        for event in (
+            Event.INSTRS, Event.CYCLES, Event.DC_MISS, Event.IC_MISS,
+            Event.BR_MISPRED,
+        )
+    }
+    for event in draw(st.lists(st.sampled_from(list(Event)), unique=True, max_size=4)):
+        bank.setdefault(event, draw(st.integers(min_value=0, max_value=1_000_000)))
+    return bank
+
+
+@st.composite
+def stored_path_profiles(draw) -> dict:
+    """A flat path profile: ``{function: StoredFunctionPaths}``.
+
+    The shape a live :class:`~repro.profiles.pathprofile.PathProfile`
+    reduces to in the store — sparse path-sum counts plus optional
+    two-slot metric vectors on a subset of the counted paths.
+    """
+    functions = {}
+    for name in draw(st.lists(st.sampled_from(PROCS), unique=True, max_size=3)):
+        potential = draw(st.integers(min_value=1, max_value=64))
+        sums = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=potential - 1),
+                unique=True,
+                max_size=5,
+            )
+        )
+        counts = {
+            path_sum: draw(st.integers(min_value=1, max_value=10_000))
+            for path_sum in sums
+        }
+        metrics = {
+            path_sum: [
+                draw(st.integers(min_value=0, max_value=10_000)) for _ in range(2)
+            ]
+            for path_sum in sums
+            if draw(st.booleans())
+        }
+        functions[name] = StoredFunctionPaths(potential, counts, metrics)
+    return functions

@@ -159,3 +159,17 @@ def ir_programs(draw) -> Program:
     fb.ret(acc)
     builder.add(fb)
     return builder.finish()
+
+
+@st.composite
+def ir_program_asm(draw) -> str:
+    """A random valid program as IR assembly text.
+
+    The fork-safe form :class:`~repro.tools.shard_runner.ShardSpec`
+    ships to workers (``asm=``) — and, because
+    :func:`~repro.ir.disasm.format_program` round-trips, the same
+    program the in-process strategies build.
+    """
+    from repro.ir.disasm import format_program
+
+    return format_program(draw(ir_programs()))

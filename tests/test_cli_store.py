@@ -1,0 +1,166 @@
+"""The ``profile --store`` / ``diff REF REF`` / ``ci`` CLI surface.
+
+Exit-code contract: 0 = gate passes (ok or optimization), 1 =
+degradation, 2 = usage or store error (unknown ref, missing
+``--store``).  The legacy two-input spectrum diff keeps its original
+form — ``diff`` only routes to the store when a candidate ref is
+given (see ``tests/test_cli.py::TestDiff``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+fn work(n) {
+    var i = 0; var sum = 0;
+    while (i < n) { sum = sum + i * 3; i = i + 1; }
+    return sum;
+}
+fn main(n) {
+    var j = 0; var out = 0;
+    while (j < 4) { out = out + work(n + j); j = j + 1; }
+    return out;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "program.pl"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    return str(tmp_path / "store")
+
+
+def _profile(source_file, store_dir, arg):
+    return main(
+        [
+            "profile", source_file, arg,
+            "--mode", "combined",
+            "--store", store_dir,
+            "--workload", "bench",
+        ]
+    )
+
+
+class TestProfileStoreSink:
+    def test_profile_reports_the_stored_id(self, source_file, store_dir, capsys):
+        assert _profile(source_file, store_dir, "10") == 0
+        assert "stored as " in capsys.readouterr().out
+
+    def test_identical_profiles_dedup_to_one_entry(
+        self, source_file, store_dir, capsys
+    ):
+        from repro.store import ProfileStore
+
+        assert _profile(source_file, store_dir, "10") == 0
+        assert _profile(source_file, store_dir, "10") == 0
+        assert len(ProfileStore(store_dir).entries()) == 1
+
+
+class TestCi:
+    def test_single_run_passes_trivially(self, source_file, store_dir, capsys):
+        assert _profile(source_file, store_dir, "10") == 0
+        assert main(["ci", "--store", store_dir]) == 0
+        assert "trivially" in capsys.readouterr().out
+
+    def test_degradation_fails_the_gate(self, source_file, store_dir, capsys):
+        # Run arguments are not part of the spec digest, so the same
+        # program driven much harder is a spec-compatible regression.
+        assert _profile(source_file, store_dir, "10") == 0
+        assert _profile(source_file, store_dir, "100") == 0
+        assert main(["ci", "--store", store_dir]) == 1
+        out = capsys.readouterr().out
+        assert "ci: FAIL (degradation)" in out
+
+    def test_improvement_passes_the_gate(self, source_file, store_dir, capsys):
+        assert _profile(source_file, store_dir, "100") == 0
+        assert _profile(source_file, store_dir, "10") == 0
+        capsys.readouterr()
+        assert main(["ci", "--store", store_dir]) == 0
+        assert "ci: OK (optimization)" in capsys.readouterr().out
+
+    def test_missing_store_flag_is_usage_error(self, capsys):
+        assert main(["ci"]) == 2
+        assert "requires --store" in capsys.readouterr().err
+
+    def test_unknown_ref_is_exit_2(self, source_file, store_dir, capsys):
+        assert _profile(source_file, store_dir, "10") == 0
+        assert main(["ci", "deadbeef", "--store", store_dir]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStoreDiff:
+    def test_diff_of_a_ref_with_itself_is_ok(self, source_file, store_dir, capsys):
+        assert _profile(source_file, store_dir, "10") == 0
+        assert main(["diff", "latest", "latest", "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: ok" in out
+        for detector in ("counters", "contexts", "hot_paths"):
+            assert detector in out
+
+    def test_degrading_diff_is_exit_1_with_findings(
+        self, source_file, store_dir, capsys
+    ):
+        assert _profile(source_file, store_dir, "10") == 0
+        assert _profile(source_file, store_dir, "100") == 0
+        assert main(["diff", "latest~1", "latest", "--store", store_dir]) == 1
+        out = capsys.readouterr().out
+        assert "verdict: degradation" in out
+        assert "INSTRS" in out
+        # The mirror direction is an improvement, and improvements pass.
+        assert main(["diff", "latest", "latest~1", "--store", store_dir]) == 0
+
+    def test_json_report_schema(self, source_file, store_dir, capsys):
+        assert _profile(source_file, store_dir, "10") == 0
+        assert _profile(source_file, store_dir, "100") == 0
+        capsys.readouterr()
+        assert (
+            main(["diff", "latest~1", "latest", "--store", store_dir, "--json"]) == 1
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["format"] == "repro-diff-report-v1"
+        assert report["verdict"] == "degradation"
+        assert set(report["thresholds"]) == {"ratio", "min_count", "top_k", "events"}
+        assert [d["detector"] for d in report["detectors"]] == [
+            "counters", "contexts", "hot_paths",
+        ]
+        findings = [f for d in report["detectors"] for f in d["findings"]]
+        assert all(
+            set(f) == {"detector", "subject", "baseline", "candidate",
+                       "delta", "verdict"}
+            for f in findings
+        )
+
+    def test_thresholds_are_configurable(self, source_file, store_dir, capsys):
+        assert _profile(source_file, store_dir, "10") == 0
+        assert _profile(source_file, store_dir, "100") == 0
+        # An absurdly permissive ratio waves the regression through.
+        assert (
+            main(
+                [
+                    "diff", "latest~1", "latest",
+                    "--store", store_dir,
+                    "--ratio", "0.9999", "--min-count", "1000000000",
+                ]
+            )
+            == 0
+        )
+
+    def test_missing_store_flag_is_usage_error(self, capsys):
+        assert main(["diff", "latest~1", "latest"]) == 2
+        assert "requires --store" in capsys.readouterr().err
+
+    def test_unknown_ref_is_exit_2(self, source_file, store_dir, capsys):
+        assert _profile(source_file, store_dir, "10") == 0
+        assert main(["diff", "latest", "deadbeef", "--store", store_dir]) == 2
+        assert "error:" in capsys.readouterr().err

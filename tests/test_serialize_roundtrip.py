@@ -176,15 +176,19 @@ def test_combined_mode_roundtrips_exactly():
     assert strict_form(loaded) == strict_form(run.cct)
 
 
+def _tiny_cct():
+    base = MemoryMap().cct.base
+    root = CallRecord(ROOT_ID, None, 1, 3, base)
+    child = CallRecord("f", root, 1, 3, base + 100)
+    root.slots[0] = child
+    return FakeCCT(root, [root, child], 200)
+
+
 class TestAtomicityAndIntegrity:
     """The checkpointing contract the shard runner builds on."""
 
     def _tiny_cct(self):
-        base = MemoryMap().cct.base
-        root = CallRecord(ROOT_ID, None, 1, 3, base)
-        child = CallRecord("f", root, 1, 3, base + 100)
-        root.slots[0] = child
-        return FakeCCT(root, [root, child], 200)
+        return _tiny_cct()
 
     def test_failed_save_preserves_previous_dump(self, tmp_path):
         """A crash mid-serialization must leave the prior checkpoint
@@ -231,3 +235,87 @@ class TestAtomicityAndIntegrity:
             load_cct(path)
         assert info.value.path == path
         assert "truncated or corrupt" in info.value.reason
+
+
+class TestLoadIsAllOrNothing:
+    """Regression tests for eager load-time validation.
+
+    Before the fix, :func:`load_cct` accepted any JSON value in
+    numeric fields and the error surfaced lazily — a ``TypeError``
+    deep inside a later merge, *after* the merge target had already
+    been half-mutated (or worse, a string ``"12"`` reconstructed
+    metrics as a list of characters and produced a silently wrong
+    profile).  Now every numeric field is validated during
+    reconstruction, so a corrupt dump is a typed
+    :class:`CCTLoadError` at load time and nothing downstream ever
+    sees a partially valid tree.
+    """
+
+    def _dump(self, tmp_path, mutate):
+        import json
+
+        path = str(tmp_path / "cct.json")
+        save_cct(_tiny_cct(), path)
+        payload = json.load(open(path))
+        mutate(payload)
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        return path
+
+    def _assert_rejected(self, path, fragment):
+        from repro.cct.serialize import CCTLoadError
+
+        with pytest.raises(CCTLoadError) as info:
+            load_cct(path)
+        assert info.value.path == path
+        assert "malformed CCT dump" in info.value.reason
+        assert fragment in info.value.reason
+
+    def test_string_metrics_fail_at_load_not_lazily(self, tmp_path):
+        # The headline regression: "12" is iterable, so without eager
+        # validation it reconstructed as metrics ["1", "2"] and loaded
+        # "successfully".
+        path = self._dump(
+            tmp_path, lambda p: p["records"][1].update(metrics="12")
+        )
+        self._assert_rejected(path, "record metrics")
+
+    def test_bool_is_not_an_integer(self, tmp_path):
+        path = self._dump(
+            tmp_path, lambda p: p["records"][1].update(addr=True)
+        )
+        self._assert_rejected(path, "addr")
+
+    def test_string_table_count_fails_at_load(self, tmp_path):
+        def mutate(payload):
+            payload["records"][1]["path_tables"] = {
+                "f": {
+                    "name": "f@0x40",
+                    "capacity": 4,
+                    "metric_slots": 0,
+                    "kind": "array",
+                    "buckets": 16384,
+                    "counts": {"1": "9"},
+                    "metrics": {},
+                }
+            }
+
+        path = self._dump(tmp_path, mutate)
+        self._assert_rejected(path, "count")
+
+    def test_corrupt_checkpoint_fails_before_any_merge_runs(self, tmp_path):
+        """The motivating scenario: merging a corrupt shard checkpoint
+        with an accumulator fails as a typed load error — never a raw
+        ``TypeError`` from inside the merge — and the accumulator is
+        untouched."""
+        from repro.cct.merge import merge_ccts
+        from repro.cct.serialize import CCTLoadError
+
+        target = _tiny_cct()
+        before = strict_form(target)
+        path = self._dump(
+            tmp_path, lambda p: p["records"][1].update(metrics="12")
+        )
+        with pytest.raises(CCTLoadError):
+            merge_ccts([target, load_cct(path)])
+        assert strict_form(target) == before

@@ -1,0 +1,285 @@
+"""Differential tests for the store's regression-detector algebra.
+
+The detector contract:
+
+* ``diff(p, p)`` is all-``ok`` — identity produces no findings;
+* ``diff(a, b)`` and ``diff(b, a)`` are exact mirrors at the judged-
+  pair level — every finding maps through ``degradation <->
+  optimization`` with ``ok`` fixed (the symmetric-denominator judge
+  makes this exact, not approximate); detector and report verdicts
+  are severity maxima over those mirrored pairs, so a mixed result is
+  a degradation in *both* diff directions (a regression never nets
+  out against an unrelated improvement) — the reverse report is
+  therefore fully *derivable* from the forward one, which is what the
+  mirror test checks;
+* profiles with different spec digests refuse to diff (typed
+  :class:`DetectError`);
+* a counter perturbation injected with
+  :func:`repro.profiles.perturbation.inject_counter_perturbation`
+  flips the gate from ``ok`` to ``degradation``;
+* a serial run and its sharded-then-merged twin store identically and
+  diff with no spurious deltas.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.machine.counters import Event
+from repro.profiles.perturbation import inject_counter_perturbation
+from repro.session import ProfileSpec
+from repro.store import (
+    DetectError,
+    ProfileStore,
+    StoredProfile,
+    Thresholds,
+    Verdict,
+    diff_profiles,
+)
+from repro.store.detect import MIRROR, worst
+
+from tests.cct_strategies import cct_trees, counter_banks, stored_path_profiles
+
+FEW = settings(max_examples=25, deadline=None)
+
+SPEC = ProfileSpec(mode="context_flow")
+DIGEST = SPEC.digest()
+
+
+def _profile(counters, cct=None, paths=None, run_id="a" * 64, seq=1):
+    return StoredProfile(
+        run_id=run_id,
+        spec=SPEC,
+        spec_digest=DIGEST,
+        workload="bench",
+        code_fingerprint="f" * 64,
+        counters=counters,
+        return_values=[0],
+        seq=seq,
+        cct=cct,
+        paths=paths,
+    )
+
+
+class TestIdentity:
+    @FEW
+    @given(counter_banks(), stored_path_profiles(), cct_trees())
+    def test_diff_of_a_profile_with_itself_is_all_ok(self, counters, paths, cct):
+        profile = _profile(counters, cct=cct, paths=paths)
+        report = diff_profiles(profile, profile)
+        assert report.verdict is Verdict.OK
+        assert [d.name for d in report.detectors] == [
+            "counters", "contexts", "hot_paths",
+        ]
+        for detector in report.detectors:
+            assert detector.verdict is Verdict.OK
+        assert report.findings == []
+
+
+def _normalized(finding, swap: bool):
+    """A finding modulo diff direction: hot-path churn labels swap
+    entered<->exited and every verdict mirrors when the operands do."""
+    subject = finding.subject.replace(" entered ", " # ").replace(" exited ", " # ")
+    if swap:
+        return (
+            finding.detector,
+            subject,
+            finding.candidate,
+            finding.baseline,
+            MIRROR[finding.verdict],
+        )
+    return (
+        finding.detector,
+        subject,
+        finding.baseline,
+        finding.candidate,
+        finding.verdict,
+    )
+
+
+class TestMirror:
+    @FEW
+    @given(
+        counter_banks(), counter_banks(),
+        stored_path_profiles(), stored_path_profiles(),
+        cct_trees(), cct_trees(),
+    )
+    def test_swapping_operands_mirrors_every_verdict(
+        self, bank_a, bank_b, paths_a, paths_b, cct_a, cct_b
+    ):
+        a = _profile(bank_a, cct=cct_a, paths=paths_a, run_id="a" * 64, seq=1)
+        b = _profile(bank_b, cct=cct_b, paths=paths_b, run_id="b" * 64, seq=2)
+        forward = diff_profiles(a, b)
+        reverse = diff_profiles(b, a)
+
+        # Every level of the reverse report is derivable from the
+        # forward one.  Counters/contexts verdicts are severity maxes
+        # over their judged pairs, so the expected reverse verdict is
+        # the max of the mirrored pair verdicts — NOT blindly
+        # MIRROR[verdict]: an event that degraded next to one that
+        # improved leaves the detector degraded in both directions.
+        # Hot-path churn is one antisymmetric judgement, so it mirrors
+        # exactly.
+        def expected_reverse(detector):
+            if detector.name == "hot_paths":
+                return MIRROR[detector.verdict]
+            return worst(MIRROR[f.verdict] for f in detector.findings)
+
+        expected = [expected_reverse(d) for d in forward.detectors]
+        assert reverse.verdict is worst(expected)
+        assert len(forward.detectors) == len(reverse.detectors)
+        for fwd, rev, exp in zip(forward.detectors, reverse.detectors, expected):
+            assert fwd.name == rev.name
+            assert rev.verdict is exp
+            assert rev.checked == fwd.checked
+            assert sorted(_normalized(f, swap=True) for f in fwd.findings) == sorted(
+                _normalized(f, swap=False) for f in rev.findings
+            )
+
+
+class TestCompatibility:
+    def test_different_spec_digests_refuse_to_diff(self):
+        other = ProfileSpec(mode="context_hw")
+        a = _profile({Event.INSTRS: 1000})
+        b = StoredProfile(
+            run_id="b" * 64,
+            spec=other,
+            spec_digest=other.digest(),
+            workload="bench",
+            code_fingerprint="f" * 64,
+            counters={Event.INSTRS: 1000},
+            return_values=[0],
+            seq=2,
+        )
+        with pytest.raises(DetectError) as info:
+            diff_profiles(a, b)
+        assert "not spec-compatible" in str(info.value)
+
+    def test_cct_root_mismatch_is_detect_error(self):
+        from repro.cct.records import CallRecord
+
+        left = CallRecord("<root>", None, 1, 3, 0)
+        right = CallRecord("other", None, 1, 3, 0)
+        a = _profile({Event.INSTRS: 1000})
+        b = _profile({Event.INSTRS: 1000}, run_id="b" * 64, seq=2)
+        a.cct, b.cct = left, right
+        with pytest.raises(DetectError):
+            diff_profiles(a, b)
+
+
+class TestThresholds:
+    def test_pairs_below_the_count_floor_are_noise(self):
+        t = Thresholds(min_count=32)
+        assert t.judge(0, 31) is Verdict.OK
+        assert t.judge(31, 0) is Verdict.OK
+        assert t.judge(0, 32) is Verdict.DEGRADATION
+        assert t.judge(32, 0) is Verdict.OPTIMIZATION
+
+    def test_ratio_boundary_is_exclusive(self):
+        t = Thresholds(ratio=0.05, min_count=0)
+        assert t.judge(100, 105) is Verdict.OK  # exactly 5% of max(100,105)? no:
+        # (105-100)/105 ≈ 0.0476 <= 0.05 -> ok
+        assert t.judge(100, 112) is Verdict.DEGRADATION
+        assert t.judge(112, 100) is Verdict.OPTIMIZATION
+
+    def test_worst_orders_degradation_over_optimization_over_ok(self):
+        assert worst([]) is Verdict.OK
+        assert worst([Verdict.OK, Verdict.OPTIMIZATION]) is Verdict.OPTIMIZATION
+        assert (
+            worst([Verdict.OPTIMIZATION, Verdict.DEGRADATION, Verdict.OK])
+            is Verdict.DEGRADATION
+        )
+
+
+SOURCE = """
+fn work(n) {
+    var i = 0; var sum = 0;
+    while (i < n) { sum = sum + i * 3; i = i + 1; }
+    return sum;
+}
+fn main(n) {
+    var j = 0; var out = 0;
+    while (j < 4) { out = out + work(n + j); j = j + 1; }
+    return out;
+}
+"""
+
+
+class TestPerturbationGate:
+    def test_injected_counter_perturbation_flips_the_gate(self, tmp_path):
+        """The acceptance experiment: store one real run, store a twin
+        whose counter bank carries an injected perturbation, and the
+        gate must flip from trivially-ok to degradation."""
+        from repro.lang import compile_source
+        from repro.session import ProfileSession
+        from repro.store.encode import counters_to_json
+
+        store = ProfileStore(str(tmp_path))
+        session = ProfileSession()
+        run = session.run(
+            SPEC, compile_source(SOURCE), (25,), store=store, workload="gate"
+        )
+        baseline = store.load(run.stored_as)
+
+        perturbed = inject_counter_perturbation(
+            dict(run.result.counters), Event.INSTRS, 1.5
+        )
+        record = dict(baseline.record)
+        record.pop("blobs", None)
+        record["counters"] = counters_to_json(perturbed)
+        slow_id = store.save_record(record, cct=run.cct, paths=None)
+        slow = store.load(slow_id)
+
+        assert store.baseline_for(slow).run_id == baseline.run_id
+        report = diff_profiles(baseline, slow)
+        assert report.verdict is Verdict.DEGRADATION
+        counters_report = next(d for d in report.detectors if d.name == "counters")
+        assert any(
+            f.subject == "INSTRS" and f.verdict is Verdict.DEGRADATION
+            for f in counters_report.findings
+        )
+        # ...and the mirror direction reports an optimization.
+        assert diff_profiles(slow, baseline).verdict is Verdict.OPTIMIZATION
+
+    def test_unperturbed_twin_passes(self, tmp_path):
+        from repro.lang import compile_source
+        from repro.session import ProfileSession
+
+        store = ProfileStore(str(tmp_path))
+        program = compile_source(SOURCE)
+        first = ProfileSession().run(SPEC, program, (25,), store=store, workload="g")
+        second = ProfileSession().run(SPEC, program, (25,), store=store, workload="g")
+        a, b = store.load(first.stored_as), store.load(second.stored_as)
+        report = diff_profiles(a, b)
+        assert report.verdict is Verdict.OK
+        assert report.findings == []
+
+
+class TestSerialShardedTwin:
+    def test_serial_and_sharded_store_identically_and_diff_clean(self, tmp_path):
+        """The merge algebra's bit-identity, witnessed end to end
+        through the store: a serial run and its sharded-then-merged
+        twin content-address to the *same* run id, and diff all-ok."""
+        from repro.tools.shard_runner import ShardSpec, serial_run, shard_run
+
+        spec = ShardSpec(
+            source=SOURCE,
+            inputs=[(10,), (17,), (23,), (31,)],
+            mode="context_flow",
+        )
+        serial = serial_run(spec)
+        sharded = shard_run(spec, shards=2, jobs=1)
+
+        store = ProfileStore(str(tmp_path))
+        serial_id = store.save_outcome(serial, workload="twin")
+        sharded_id = store.save_outcome(sharded, workload="twin")
+        assert serial_id == sharded_id
+        assert len(store.entries()) == 1
+
+        report = diff_profiles(store.load(serial_id), store.load(sharded_id))
+        assert report.verdict is Verdict.OK
+        assert report.findings == []
+        assert [d.name for d in report.detectors] == [
+            "counters", "contexts", "hot_paths",
+        ]
