@@ -183,6 +183,8 @@ class DecodedBlock:
         "total_icost",
         "source",
         "runtimes",
+        "key",
+        "hot",
     )
 
     def __init__(
@@ -213,6 +215,15 @@ class DecodedBlock:
         #: comparison in ``_validate_decoded`` can never hit a recycled
         #: ``id``.  Swapping runtimes between runs evicts the decoding.
         self.runtimes = runtimes
+        #: ``(function_name, block_name)`` — the decoded-cache key.  The
+        #: trace tier reads it off branch-transfer returns to attribute
+        #: heat to chain links without re-deriving the name.
+        self.key: Optional[Tuple[str, str]] = None
+        #: Trace-tier latch: ``None`` until the tier resolves this block
+        #: (then the compiled trace function or its BLACKLIST sentinel),
+        #: so steady-state transfers pay one slot load instead of a
+        #: tuple-hashed dispatch lookup.  Per-machine, like the closures.
+        self.hot = None
 
 
 # ---------------------------------------------------------------------------
@@ -550,6 +561,13 @@ class _SegmentWriter:
         self.n = 0
         self.icost = 0
         self.fp = 0
+        # pending memory-event sums: program loads/stores contribute
+        # LOADS/DC_READ (resp. STORES/DC_WRITE) unconditionally, and no
+        # operation between flushes reads those counters, so the
+        # increments batch exactly like fetch costs do.  (Fused probe
+        # traffic stays unbatched: probe bodies interleave PIC reads.)
+        self.loads = 0
+        self.stores = 0
         # I-cache line of the previous emitted instruction; None until
         # the segment head's dynamic check has run.
         self.prev_iline: Optional[int] = None
@@ -594,6 +612,14 @@ class _SegmentWriter:
             if self.fp:
                 self.emit(f"counts[{_FP_STALL}] += {self.fp}")
             self.n = self.icost = self.fp = 0
+        if self.loads:
+            self.emit(f"counts[{_LOADS}] += {self.loads}")
+            self.emit(f"counts[{_DC_READ}] += {self.loads}")
+            self.loads = 0
+        if self.stores:
+            self.emit(f"counts[{_STORES}] += {self.stores}")
+            self.emit(f"counts[{_DC_WRITE}] += {self.stores}")
+            self.stores = 0
 
     def sync_cell(self) -> None:
         """Bring the machine's I-cache line state up to date (needed
@@ -604,11 +630,28 @@ class _SegmentWriter:
 
     # -- operand helpers -------------------------------------------------------
 
-    @staticmethod
-    def _operand(value) -> str:
+    def rd(self, reg: int) -> str:
+        """Source expression that reads architectural register ``reg``.
+
+        The trace writer overrides this (and :meth:`wr`/:meth:`rw`) to
+        keep registers resident in Python locals across former block
+        boundaries; every generated register access must go through
+        these three methods for that to be sound.
+        """
+        return f"regs[{reg}]"
+
+    def wr(self, reg: int) -> str:
+        """Target expression that writes architectural register ``reg``."""
+        return f"regs[{reg}]"
+
+    def rw(self, reg: int) -> str:
+        """Target of a read-modify-write (``+=``) on register ``reg``."""
+        return f"regs[{reg}]"
+
+    def _operand(self, value) -> str:
         if value.__class__ is Imm:
             return _literal(value.value)
-        return f"regs[{value}]"
+        return self.rd(value)
 
     # -- instruction bodies ----------------------------------------------------
 
@@ -617,47 +660,48 @@ class _SegmentWriter:
         self.fetch(addr, iline, instr.icost)
         if kind == Kind.BINOP:
             expr = _INT_OP_FMT[instr.op].format(
-                a=f"regs[{instr.a}]", b=self._operand(instr.b)
+                a=self.rd(instr.a), b=self._operand(instr.b)
             )
-            self.emit(f"regs[{instr.dst}] = {expr}")
+            self.emit(f"{self.wr(instr.dst)} = {expr}")
         elif kind == Kind.CONST:
-            self.emit(f"regs[{instr.dst}] = {_literal(instr.value)}")
+            self.emit(f"{self.wr(instr.dst)} = {_literal(instr.value)}")
         elif kind == Kind.MOVE:
-            self.emit(f"regs[{instr.dst}] = regs[{instr.src}]")
+            self.emit(f"{self.wr(instr.dst)} = {self.rd(instr.src)}")
         elif kind == Kind.FBINOP:
             expr = _FLOAT_OP_FMT[instr.op].format(
-                a=f"regs[{instr.a}]", b=self._operand(instr.b)
+                a=self.rd(instr.a), b=self._operand(instr.b)
             )
-            self.emit(f"regs[{instr.dst}] = {expr}")
+            self.emit(f"{self.wr(instr.dst)} = {expr}")
             self.fp += self.fp_latencies[instr.op] - 1
         elif kind == Kind.LOAD or kind == Kind.FRAME_LOAD:
             if kind == Kind.LOAD:
                 offset = f" + {instr.offset}" if instr.offset else ""
-                self.emit(f"_a = regs[{instr.base}]{offset}")
+                self.emit(f"_a = {self.rd(instr.base)}{offset}")
             else:
                 self.emit(f"_a = frame.base_addr + {instr.slot * WORD}")
-            self.emit(f"counts[{_LOADS}] += 1")
-            self.emit(f"counts[{_DC_READ}] += 1")
+            self.loads += 1
             self.emit("if not _dca(_a):")
             self.emit(f"    counts[{_DC_READ_MISS}] += 1")
             self.emit(f"    counts[{_DC_MISS}] += 1")
             self.emit(f"    counts[{_CYCLES}] += _rmc(_a)")
             self.emit("    _nms(_a)")
-            self.emit(f"regs[{instr.dst}] = _mrd(_a, 0)")
+            self.emit(f"{self.wr(instr.dst)} = _mrd(_a, 0)")
         elif kind == Kind.STORE or kind == Kind.FRAME_STORE:
             # The store-buffer push reads CYCLES: flush pending costs
-            # (this store's fetch included) before the body runs.
-            self.flush_costs()
+            # (this store's fetch and its STORES/DC_WRITE bump
+            # included) before the body runs.
             if kind == Kind.STORE:
                 value = self._operand(instr.src)
                 offset = f" + {instr.offset}" if instr.offset else ""
-                self.emit(f"_a = regs[{instr.base}]{offset}")
+                self.stores += 1
+                self.flush_costs()
+                self.emit(f"_a = {self.rd(instr.base)}{offset}")
             else:
-                value = f"regs[{instr.src}]"
+                value = self.rd(instr.src)
+                self.stores += 1
+                self.flush_costs()
                 self.emit(f"_a = frame.base_addr + {instr.slot * WORD}")
             probe = "_dca(_a)" if self.write_allocate else "_dca(_a, False)"
-            self.emit(f"counts[{_STORES}] += 1")
-            self.emit(f"counts[{_DC_WRITE}] += 1")
             self.emit(f"if not {probe}:")
             self.emit(f"    counts[{_DC_WRITE_MISS}] += 1")
             self.emit(f"    counts[{_DC_MISS}] += 1")
@@ -665,11 +709,11 @@ class _SegmentWriter:
             self.emit("_sbp()")
             self.emit(f"_mwr(_a, {value})")
         elif kind == Kind.ALLOC:
-            self.emit(f"regs[{instr.dst}] = _halloc({self._operand(instr.size)})")
+            self.emit(f"{self.wr(instr.dst)} = _halloc({self._operand(instr.size)})")
         elif kind == Kind.PATH_RESET:
-            self.emit(f"regs[{instr.reg}] = 0")
+            self.emit(f"{self.wr(instr.reg)} = 0")
         elif kind == Kind.PATH_ADD:
-            self.emit(f"regs[{instr.reg}] += {_literal(instr.value)}")
+            self.emit(f"{self.rw(instr.reg)} += {_literal(instr.value)}")
         elif kind == Kind.BR:
             self.flush_costs()
             self.sync_cell()
@@ -679,7 +723,7 @@ class _SegmentWriter:
             self.sync_cell()
             mp = self.config.mispredict_penalty
             self.emit(f"counts[{_BRANCHES}] += 1")
-            self.emit(f"if regs[{instr.cond}] != 0:")
+            self.emit(f"if {self.rd(instr.cond)} != 0:")
             self.emit(f"    counts[{_BR_TAKEN}] += 1")
             self.emit(f"    if not _prd({addr}, True):")
             self.emit(f"        counts[{_BR_MISPRED}] += 1")
@@ -792,21 +836,21 @@ class _SegmentWriter:
 
     def _fuse_commit(self, instr, table) -> None:
         tc = self.param("tblc", instr.table)
-        self.emit(f"_i = regs[{instr.reg}] + {instr.end}")
+        self.emit(f"_i = {self.rd(instr.reg)} + {instr.end}")
         self.emit(f"if 0 <= _i < {table.capacity}:")
         self.emit(f"    _a = {table.base} + _i * {table.slot_words * WORD}")
         self._bump(tc, "_i", "_a", 3)
         self.emit("else:")
         self.emit(f"    {self.param('tbl', instr.table)}.out_of_range += 1")
         if instr.reset_to is not None:
-            self.emit(f"regs[{instr.reg}] = {instr.reset_to}")
+            self.emit(f"{self.wr(instr.reg)} = {instr.reset_to}")
 
     def _fuse_accum(self, instr, table) -> None:
         tc = self.param("tblc", instr.table)
         tm = self.param("tblm", instr.table)
         pr = self.param("picr")
         self.emit(f"_p = {pr}()")
-        self.emit(f"_i = regs[{instr.reg}] + {instr.end}")
+        self.emit(f"_i = {self.rd(instr.reg)} + {instr.end}")
         self.emit(f"if 0 <= _i < {table.capacity}:")
         self.emit(f"    _a = {table.base} + _i * {table.slot_words * WORD}")
         self._bump(tc, "_i", "_a", 3)
@@ -828,7 +872,7 @@ class _SegmentWriter:
             self.emit(f"{self.param('picz')}()")
             self.emit(f"{pr}()")
         if instr.reset_to is not None:
-            self.emit(f"regs[{instr.reg}] = {instr.reset_to}")
+            self.emit(f"{self.wr(instr.reg)} = {instr.reset_to}")
 
     def _fuse_edge(self, instr, table) -> None:
         # The edge index is a compile-time constant, so the range check
@@ -1182,14 +1226,18 @@ def decode_block(machine, function, block) -> DecodedBlock:
         _config_key(machine.config),
         _probe_key(machine, instrs),
     )
+    stats = machine.codegen_stats
     cached = block._decode_cache
     if cached is not None and cached[0] == cache_key:
         _key, source, code, starts, seg_extras, n_links = cached
+        stats["source_cache_hits"] += 1
     else:
         source, code, starts, seg_extras, n_links = _generate_block(
             machine, function, block, instrs, addrs
         )
         block._decode_cache = (cache_key, source, code, starts, seg_extras, n_links)
+        stats["source_cache_misses"] += 1
+    stats["decoded_blocks"] += 1
 
     line_bits = machine._icache_line_bits
     # Closure handlers only for the instructions the generated source
@@ -1249,7 +1297,7 @@ def decode_block(machine, function, block) -> DecodedBlock:
             )
         )
 
-    return DecodedBlock(
+    decoded = DecodedBlock(
         steps,
         resume,
         block.edit_gen,
@@ -1258,6 +1306,8 @@ def decode_block(machine, function, block) -> DecodedBlock:
         source,
         (machine.path_runtime, machine.cct_runtime),
     )
+    decoded.key = (fname, block.name)
+    return decoded
 
 
 # ---------------------------------------------------------------------------

@@ -35,6 +35,12 @@ MODES = (
 #: Counter-increment placement strategies ([BL94] vs naive).
 PLACEMENTS = ("simple", "spanning_tree")
 
+#: Execution engine tiers (see :mod:`repro.machine`): the reference
+#: interpreter, the predecoded block engine, and the superblock trace
+#: tier layered above it.  ``ProfileSpec.engine`` is one of these or
+#: ``None`` (defer to the Machine default / ``REPRO_ENGINE``).
+ENGINES = ("simple", "fast", "trace")
+
 #: Human-facing run labels (``ProfileRun.label``), per mode.
 LABELS = {
     "baseline": "base",
@@ -70,8 +76,8 @@ class ProfileSpec:
     * ``mode`` — one of :data:`MODES`;
     * ``pic0_event``/``pic1_event`` — what the two PIC registers count;
     * ``placement`` — counter placement (``spanning_tree`` or ``simple``);
-    * ``engine`` — execution engine override (``None`` defers to the
-      Machine default / ``REPRO_ENGINE``);
+    * ``engine`` — execution engine override, one of :data:`ENGINES`
+      (``None`` defers to the Machine default / ``REPRO_ENGINE``);
     * ``by_site`` — site-sensitive CCT records (§4.1);
     * ``read_at_backedges`` — extra counter reads at loop backedges
       (context mode, §4.2);
@@ -99,6 +105,10 @@ class ProfileSpec:
         if self.placement not in PLACEMENTS:
             raise ProfileSpecError(
                 f"unknown placement {self.placement!r}; options: {PLACEMENTS}"
+            )
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ProfileSpecError(
+                f"unknown engine {self.engine!r}; options: {ENGINES}"
             )
         object.__setattr__(
             self, "pic0_event", _coerce_event(self.pic0_event, "pic0_event")
@@ -187,4 +197,4 @@ class ProfileSpec:
         return cls(**kwargs)
 
 
-__all__ = ["LABELS", "MODES", "PLACEMENTS", "ProfileSpec", "ProfileSpecError"]
+__all__ = ["ENGINES", "LABELS", "MODES", "PLACEMENTS", "ProfileSpec", "ProfileSpecError"]

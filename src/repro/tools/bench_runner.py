@@ -22,13 +22,16 @@ Three independent facilities live here:
 
 * :func:`measure_vm_speed` / :func:`measure_instrumented_speed` — time
   the SPEC95-like suite under ``engine="simple"`` (the reference
-  if/elif interpreter) and ``engine="fast"`` (the predecoded block
-  engine), uninstrumented or under the three instrumented profiling
-  modes (flow+HW, context+HW, combined flow+context).  Each
-  measurement asserts the two engines agree bit-for-bit on every
-  counter, the return value, and per-region miss attribution before
-  reporting a speedup; the results back ``BENCH_vm_speed.json`` and
-  ``BENCH_instrumented_speed.json`` at the repository root.
+  if/elif interpreter), ``engine="fast"`` (the predecoded block
+  engine), and ``engine="trace"`` (the superblock trace tier),
+  uninstrumented or under the three instrumented profiling modes
+  (flow+HW, context+HW, combined flow+context).  Each measurement
+  asserts all engines agree bit-for-bit on every counter, the return
+  value, and per-region miss attribution before reporting a speedup,
+  and folds each machine's decode-cache and trace-tier statistics into
+  the per-tier payload entries; the results back
+  ``BENCH_vm_speed.json`` and ``BENCH_instrumented_speed.json`` at the
+  repository root.
 
 The instrumented measurement instruments each workload **once** per
 mode and reuses the instrumented program across every timed pass,
@@ -197,72 +200,123 @@ def prepare_instrumented(program, mode: str):
     return instrumented.program, lambda: instrumented.runtimes(fresh=True)
 
 
-def _suite_pass(machines) -> Tuple[int, float, list]:
+#: ``Machine.codegen_stats`` keys folded into bench payloads — the
+#: decode-cache observability satellite: a warm pass whose
+#: ``source_cache_hits`` do not dominate is re-compiling blocks it
+#: should be reusing.
+CODEGEN_STAT_KEYS = ("decoded_blocks", "source_cache_hits", "source_cache_misses")
+
+#: ``Machine.trace_stats`` keys folded into trace-tier bench payloads.
+TRACE_STAT_KEYS = (
+    "traces_compiled",
+    "traces_generated",
+    "trace_blocks",
+    "trace_entries",
+    "disk_cache_hits",
+    "disk_cache_misses",
+)
+
+
+def _suite_pass(machines) -> Tuple[int, float, list, Dict[str, int]]:
     """Run prepared ``(name, machine)`` pairs; time only ``run()``.
 
-    Returns ``(total instructions, seconds, per-run facts)`` where the
-    facts — counters, return value, region misses — are what engine
-    equality is asserted on.
+    Returns ``(total instructions, seconds, per-run facts, stats)``
+    where the facts — counters, return value, region misses — are what
+    engine equality is asserted on and ``stats`` sums every machine's
+    ``codegen_stats`` and ``trace_stats``.
     """
     total_instructions = 0
     elapsed = 0.0
     facts = []
+    stats: Dict[str, int] = {}
     for name, machine in machines:
         start = time.perf_counter()
         result = machine.run()
         elapsed += time.perf_counter() - start
         total_instructions += result.instructions
         facts.append((name, result.counters, result.return_value, result.region_misses))
-    return total_instructions, elapsed, facts
+        for source in (machine.codegen_stats, machine.trace_stats):
+            for key, value in source.items():
+                stats[key] = stats.get(key, 0) + value
+    return total_instructions, elapsed, facts, stats
 
 
-def _best_pass(n: int, fn) -> Tuple[int, float, list]:
+def _best_pass(n: int, fn) -> Tuple[int, float, list, Dict[str, int]]:
     """Minimum wall time over ``n`` passes (noise floor, not average)."""
     best = None
     for _ in range(n):
-        instructions, elapsed, facts = fn()
-        if best is None or elapsed < best[1]:
-            best = (instructions, elapsed, facts)
+        result = fn()
+        if best is None or result[1] < best[1]:
+            best = result
     return best
 
 
+def _tier_entry(
+    instructions: int, seconds: float, stats: Dict[str, int], keys: Sequence[str]
+) -> Dict:
+    entry = {
+        "seconds": round(seconds, 4),
+        "instructions_per_second": round(instructions / seconds),
+    }
+    entry.update({key: stats.get(key, 0) for key in keys})
+    return entry
+
+
 def measure_engine_speed(make_pass: Callable[[str], Iterable]) -> Dict:
-    """Simple vs fast engine timings over one suite configuration.
+    """Simple vs fast vs trace engine timings over one configuration.
 
     ``make_pass(engine)`` yields ``(name, ready-to-run Machine)`` pairs
     and is called once per pass (fresh machines, fresh runtime state).
-    The simple engine and the warm fast engine run best-of-two; the
-    cold fast pass (first decode + compile) is timed once.  Raises
-    ``AssertionError`` unless all passes produced identical facts.
+    The simple engine and the warm fast/trace passes run best-of-two;
+    the cold passes (first decode + compile) are timed once.  Raises
+    ``AssertionError`` unless all passes produced identical facts —
+    the bit-exactness contract every engine tier must honour.
     """
-    simple_i, simple_t, simple_facts = _best_pass(
+    simple_i, simple_t, simple_facts, _ = _best_pass(
         2, lambda: _suite_pass(make_pass("simple"))
     )
-    cold_i, cold_t, cold_facts = _suite_pass(make_pass("fast"))
-    warm_i, warm_t, warm_facts = _best_pass(2, lambda: _suite_pass(make_pass("fast")))
-    if not (simple_facts == cold_facts == warm_facts):
-        diverging = [
-            fact[0]
-            for fact, cold, warm in zip(simple_facts, cold_facts, warm_facts)
-            if not (fact == cold == warm)
-        ]
-        raise AssertionError(f"engines disagree on run facts: {diverging}")
+    cold_i, cold_t, cold_facts, cold_stats = _suite_pass(make_pass("fast"))
+    warm_i, warm_t, warm_facts, warm_stats = _best_pass(
+        2, lambda: _suite_pass(make_pass("fast"))
+    )
+    tcold_i, tcold_t, tcold_facts, tcold_stats = _suite_pass(make_pass("trace"))
+    twarm_i, twarm_t, twarm_facts, twarm_stats = _best_pass(
+        2, lambda: _suite_pass(make_pass("trace"))
+    )
+    passes = {
+        "fast_cold": cold_facts,
+        "fast_warm": warm_facts,
+        "trace_cold": tcold_facts,
+        "trace_warm": twarm_facts,
+    }
+    for label, facts in passes.items():
+        if facts != simple_facts:
+            diverging = [
+                fact[0]
+                for fact, other in zip(simple_facts, facts)
+                if fact != other
+            ]
+            raise AssertionError(
+                f"{label} disagrees with simple on run facts: {diverging}"
+            )
     return {
         "simulated_instructions": simple_i,
         "simple": {
             "seconds": round(simple_t, 4),
             "instructions_per_second": round(simple_i / simple_t),
         },
-        "fast_cold": {
-            "seconds": round(cold_t, 4),
-            "instructions_per_second": round(cold_i / cold_t),
-        },
-        "fast_warm": {
-            "seconds": round(warm_t, 4),
-            "instructions_per_second": round(warm_i / warm_t),
-        },
+        "fast_cold": _tier_entry(cold_i, cold_t, cold_stats, CODEGEN_STAT_KEYS),
+        "fast_warm": _tier_entry(warm_i, warm_t, warm_stats, CODEGEN_STAT_KEYS),
+        "trace_cold": _tier_entry(
+            tcold_i, tcold_t, tcold_stats, CODEGEN_STAT_KEYS + TRACE_STAT_KEYS
+        ),
+        "trace_warm": _tier_entry(
+            twarm_i, twarm_t, twarm_stats, CODEGEN_STAT_KEYS + TRACE_STAT_KEYS
+        ),
         "speedup_cold": round(simple_t / cold_t, 2),
         "speedup_warm": round(simple_t / warm_t, 2),
+        "speedup_trace_cold": round(simple_t / tcold_t, 2),
+        "speedup_trace_warm": round(simple_t / twarm_t, 2),
     }
 
 

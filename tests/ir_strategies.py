@@ -82,8 +82,10 @@ def _branch_segment(draw, fb: FunctionBuilder, acc: int, labels, callees) -> Non
     fb.block(join_l)
 
 
-def _loop_segment(draw, fb: FunctionBuilder, acc: int, buf: int, labels, callees) -> None:
-    trip = draw(st.integers(min_value=1, max_value=5))
+def _loop_segment(
+    draw, fb: FunctionBuilder, acc: int, buf: int, labels, callees, max_trip: int = 5
+) -> None:
+    trip = draw(st.integers(min_value=1, max_value=max_trip))
     head_l, body_l, exit_l = labels(), labels(), labels()
     counter = fb.const(trip)
     fb.br(head_l)
@@ -101,7 +103,7 @@ def _loop_segment(draw, fb: FunctionBuilder, acc: int, buf: int, labels, callees
     fb.block(exit_l)
 
 
-def _build_helper(draw, name: str, callees) -> FunctionBuilder:
+def _build_helper(draw, name: str, callees, max_trip: int = 5) -> FunctionBuilder:
     """One helper ``f(x)``: entry masking, 1–3 random segments, return."""
     fb = FunctionBuilder(name, num_params=1, num_regs=64)
     counter = [0]
@@ -127,7 +129,7 @@ def _build_helper(draw, name: str, callees) -> FunctionBuilder:
         elif segment == "branch":
             _branch_segment(draw, fb, acc, labels, callees)
         elif segment == "loop":
-            _loop_segment(draw, fb, acc, buf, labels, callees)
+            _loop_segment(draw, fb, acc, buf, labels, callees, max_trip)
         elif segment == "mem":
             _mem_segment(draw, fb, acc, buf)
         else:
@@ -140,13 +142,19 @@ def _build_helper(draw, name: str, callees) -> FunctionBuilder:
 
 
 @st.composite
-def ir_programs(draw) -> Program:
-    """A random valid program: DAG of 1–3 helpers plus ``main()``."""
+def ir_programs(draw, max_trip: int = 5) -> Program:
+    """A random valid program: DAG of 1–3 helpers plus ``main()``.
+
+    ``max_trip`` bounds loop trip counts.  The default keeps runs
+    short; ``ir_hot_programs`` raises it so counted loops cross the
+    trace tier's default heat threshold and compiled superblocks both
+    loop and deoptimize at their exits.
+    """
     helper_count = draw(st.integers(min_value=1, max_value=3))
     names = [f"f{index}" for index in range(helper_count)]
     builder = ProgramBuilder(entry="main")
     for index, name in enumerate(names):
-        builder.add(_build_helper(draw, name, names[index + 1 :]))
+        builder.add(_build_helper(draw, name, names[index + 1 :], max_trip))
 
     fb = FunctionBuilder("main", num_params=0, num_regs=64)
     fb.block("entry")
@@ -159,6 +167,11 @@ def ir_programs(draw) -> Program:
     fb.ret(acc)
     builder.add(fb)
     return builder.finish()
+
+
+def ir_hot_programs():
+    """Programs whose loops run 8–32 iterations: trace-tier fodder."""
+    return ir_programs(max_trip=32)
 
 
 @st.composite

@@ -1,9 +1,9 @@
-"""Differential check: the predecoded engine vs the reference loop.
+"""Differential check: the compiled engine tiers vs the reference loop.
 
-For every SPEC95-like workload, run the simulator under both
-``engine="simple"`` (the reference if/elif interpreter) and
-``engine="fast"`` (the predecoded block engine) in four
-configurations — uninstrumented, path-instrumented ("Flow and HW"),
+For every SPEC95-like workload, run the simulator under
+``engine="simple"`` (the reference if/elif interpreter),
+``engine="fast"`` (the predecoded block engine), and ``engine="trace"``
+(the superblock trace tier) in four configurations — uninstrumented, path-instrumented ("Flow and HW"),
 CCT-instrumented ("Context and HW"), and combined flow+context — and
 require bit-identical counter snapshots, return values, per-region
 miss attribution, path profiles (counts *and* per-path metrics), and
@@ -11,8 +11,9 @@ exact CCT state (:func:`~repro.cct.merge.strict_form`: every record,
 slot, address, and serialized byte).
 
 This is the acceptance gate for the engine's fused instrumentation
-probes: any divergence in any of the sixteen counters, any path
-count, or any CCT record on any workload is a bug in the fast engine.
+probes and the trace tier's deoptimization protocol: any divergence in
+any of the sixteen counters, any path count, or any CCT record on any
+workload is a bug in the compiled tier.
 """
 
 import dataclasses
@@ -74,17 +75,27 @@ def _assert_identical(name, config, simple_run, fast_run):
 MODES = ("flow_hw", "context_hw", "context_flow")
 
 
+#: Engine tiers checked against the reference interpreter.
+TIERS = ("fast", "trace")
+
+
 @pytest.mark.parametrize("name", SPEC95)
 def test_engines_agree(name):
     program = build_workload(name, SCALE)
     simple = PP(engine="simple")
-    fast = PP(engine="fast")
-
-    _assert_identical(name, "base", simple.baseline(program), fast.baseline(program))
+    reference = {"base": simple.baseline(program)}
     for mode in MODES:
+        reference[mode] = getattr(simple, mode)(program)
+
+    for engine in TIERS:
+        tier = PP(engine=engine)
         _assert_identical(
-            name, mode, getattr(simple, mode)(program), getattr(fast, mode)(program)
+            name, f"base/{engine}", reference["base"], tier.baseline(program)
         )
+        for mode in MODES:
+            _assert_identical(
+                name, f"{mode}/{engine}", reference[mode], getattr(tier, mode)(program)
+            )
 
 
 @pytest.mark.parametrize("name", SPEC95)
@@ -96,14 +107,20 @@ def test_engines_agree_under_sharding(name):
     base = spec_for_workload(name, scale=SCALE, runs=2, mode="context_hw")
     outcomes = {
         engine: shard_run(dataclasses.replace(base, engine=engine), 2, jobs=1)
-        for engine in ("simple", "fast")
+        for engine in ("simple", *TIERS)
     }
-    simple, fast = outcomes["simple"], outcomes["fast"]
-    diverging = {
-        event: (simple.counters[event], fast.counters[event])
-        for event in Event
-        if simple.counters[event] != fast.counters[event]
-    }
-    assert not diverging, f"{name}/sharded: counter divergence {diverging}"
-    assert simple.return_values == fast.return_values, f"{name}/sharded: returns"
-    assert strict_form(simple.cct) == strict_form(fast.cct), f"{name}/sharded: cct"
+    simple = outcomes["simple"]
+    for engine in TIERS:
+        tier = outcomes[engine]
+        diverging = {
+            event: (simple.counters[event], tier.counters[event])
+            for event in Event
+            if simple.counters[event] != tier.counters[event]
+        }
+        assert not diverging, f"{name}/sharded/{engine}: counter divergence {diverging}"
+        assert simple.return_values == tier.return_values, (
+            f"{name}/sharded/{engine}: returns"
+        )
+        assert strict_form(simple.cct) == strict_form(tier.cct), (
+            f"{name}/sharded/{engine}: cct"
+        )

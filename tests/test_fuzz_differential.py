@@ -1,13 +1,21 @@
-"""Differential fuzzing: both engines, random programs, every mode.
+"""Differential fuzzing: every engine tier, random programs, every mode.
 
 The hand-built workload suite exercises the engines on *realistic*
 control flow; this suite exercises them on *adversarial* control flow
 — randomly composed branches, counted loops, call DAGs, and scratch
 loads/stores from ``tests/ir_strategies.py`` — and requires the
-predecoded engine to match the reference interpreter bit for bit on
-every run fact: all sixteen hardware counters, the return value,
-per-region miss attribution, path profiles (counts and per-path
-metric vectors), and exact CCT state (:func:`strict_form`).
+predecoded engine and the superblock trace tier to match the reference
+interpreter bit for bit on every run fact: all sixteen hardware
+counters, the return value, per-region miss attribution, path profiles
+(counts and per-path metric vectors), and exact CCT state
+(:func:`strict_form`).
+
+The trace tier's heat threshold is pinned low (``REPRO_TRACE_THRESHOLD
+= 2``) for every test here: generated loops run only a handful of
+iterations, and the whole point is to force traces to compile, run,
+and deoptimize on tiny adversarial programs.  A dedicated hot-loop
+test additionally draws programs with 8–32-iteration loops so compiled
+superblocks take their back-edge many times before deopting.
 
 The examples are derandomized (fixed seed), so a CI failure is
 reproducible locally with the same example count.  The bound comes
@@ -16,25 +24,42 @@ from ``REPRO_FUZZ_EXAMPLES`` (default 15; CI's smoke job raises it).
 
 import os
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.cct.merge import strict_form
 from repro.machine.counters import Event
 from repro.tools.pp import PP
 
-from tests.ir_strategies import ir_programs
+from tests.ir_strategies import ir_hot_programs, ir_programs
 
 EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "15"))
 
 #: Every instrumented profiling configuration of Table 1.
 MODES = ("flow_hw", "context_hw", "context_flow")
 
+#: Compiled engine tiers checked against the reference interpreter.
+TIERS = ("fast", "trace")
+
 FUZZ_SETTINGS = settings(
     max_examples=EXAMPLES,
     derandomize=True,
     deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        # The autouse threshold fixture is per-test, not per-example,
+        # which is exactly what we want (it only sets an env var).
+        HealthCheck.function_scoped_fixture,
+    ],
 )
+
+
+@pytest.fixture(autouse=True)
+def _hot_traces(monkeypatch):
+    # Fuzzed loops run 1–5 iterations; drop the heat threshold so the
+    # trace tier actually compiles (and deopts) on these tiny programs.
+    monkeypatch.setenv("REPRO_TRACE_THRESHOLD", "2")
 
 
 def _facts(run):
@@ -54,67 +79,76 @@ def _path_facts(run):
     }
 
 
-def _assert_engines_identical(config, simple_run, fast_run):
+def _assert_engines_identical(config, simple_run, tier_run):
     simple_counters, simple_rv, simple_rm = _facts(simple_run)
-    fast_counters, fast_rv, fast_rm = _facts(fast_run)
+    tier_counters, tier_rv, tier_rm = _facts(tier_run)
     diverging = {
-        event.name: (simple_counters.get(event), fast_counters.get(event))
+        event.name: (simple_counters.get(event), tier_counters.get(event))
         for event in Event
-        if simple_counters.get(event) != fast_counters.get(event)
+        if simple_counters.get(event) != tier_counters.get(event)
     }
     assert not diverging, f"{config}: counter divergence {diverging}"
-    assert simple_rv == fast_rv, f"{config}: return value"
-    assert simple_rm == fast_rm, f"{config}: region misses"
-    assert _path_facts(simple_run) == _path_facts(fast_run), (
+    assert simple_rv == tier_rv, f"{config}: return value"
+    assert simple_rm == tier_rm, f"{config}: region misses"
+    assert _path_facts(simple_run) == _path_facts(tier_run), (
         f"{config}: path profiles diverge"
     )
-    if simple_run.cct is not None or fast_run.cct is not None:
-        assert strict_form(simple_run.cct) == strict_form(fast_run.cct), (
+    if simple_run.cct is not None or tier_run.cct is not None:
+        assert strict_form(simple_run.cct) == strict_form(tier_run.cct), (
             f"{config}: CCT state diverges"
         )
+
+
+def _check_all_tiers(config, mode, program):
+    simple = getattr(PP(engine="simple"), mode)(program)
+    for engine in TIERS:
+        tier = getattr(PP(engine=engine), mode)(program)
+        _assert_engines_identical(f"{config}/{engine}", simple, tier)
 
 
 @FUZZ_SETTINGS
 @given(program=ir_programs())
 def test_fuzz_engines_agree_uninstrumented(program):
-    simple = PP(engine="simple").baseline(program)
-    fast = PP(engine="fast").baseline(program)
-    _assert_engines_identical("base", simple, fast)
+    _check_all_tiers("base", "baseline", program)
 
 
 @FUZZ_SETTINGS
 @given(program=ir_programs())
 def test_fuzz_engines_agree_flow(program):
-    simple = PP(engine="simple").flow_hw(program)
-    fast = PP(engine="fast").flow_hw(program)
-    _assert_engines_identical("flow_hw", simple, fast)
+    _check_all_tiers("flow_hw", "flow_hw", program)
 
 
 @FUZZ_SETTINGS
 @given(program=ir_programs())
 def test_fuzz_engines_agree_context(program):
-    simple = PP(engine="simple").context_hw(program)
-    fast = PP(engine="fast").context_hw(program)
-    _assert_engines_identical("context_hw", simple, fast)
+    _check_all_tiers("context_hw", "context_hw", program)
 
 
 @FUZZ_SETTINGS
 @given(program=ir_programs())
 def test_fuzz_engines_agree_combined(program):
-    simple = PP(engine="simple").context_flow(program)
-    fast = PP(engine="fast").context_flow(program)
-    _assert_engines_identical("context_flow", simple, fast)
+    _check_all_tiers("context_flow", "context_flow", program)
+
+
+@FUZZ_SETTINGS
+@given(program=ir_hot_programs())
+def test_fuzz_trace_agrees_on_hot_loops(program):
+    """Hot counted loops: compiled superblocks take their back-edge
+    many times, then deoptimize at the loop exit — under the mode
+    where every flow probe is fused into the trace body."""
+    _check_all_tiers("hot/base", "baseline", program)
+    _check_all_tiers("hot/flow_hw", "flow_hw", program)
 
 
 @FUZZ_SETTINGS
 @given(program=ir_programs())
 def test_fuzz_reference_interpreter_agrees(program):
     """The generated programs also satisfy the pure-Python reference
-    semantics: both engines return what the instruction-set reference
+    semantics: every engine returns what the instruction-set reference
     interpreter computes (a semantics check, not just engine parity)."""
     from repro.machine.reference import ReferenceInterpreter
 
     expected = ReferenceInterpreter(program).run()
-    for engine in ("simple", "fast"):
+    for engine in ("simple", *TIERS):
         run = PP(engine=engine).baseline(program)
         assert run.result.return_value == expected, engine

@@ -437,7 +437,7 @@ class TestCostModel:
         with pytest.raises(MachineError, match="budget"):
             Machine(program, config).run()
 
-    @pytest.mark.parametrize("engine", ["simple", "fast"])
+    @pytest.mark.parametrize("engine", ["simple", "fast", "trace"])
     def test_budget_overshoot_bounded_in_huge_block(self, engine):
         # A single straight-line block far larger than the budget: the
         # run must still fail, and the overshoot past the budget must
