@@ -89,6 +89,7 @@ _PROFILE_MODES = {
     "context": "context_hw",
     "combined": "context_flow",
     "edge": "edge",
+    "kflow": "kflow",
 }
 
 
@@ -110,6 +111,9 @@ def _build_spec(mode, args):
 
     pic0 = getattr(args, "pic0", None)
     pic1 = getattr(args, "pic1", None)
+    extra = {}
+    if mode == "kflow":
+        extra["k"] = getattr(args, "k", None) or 1
     return ProfileSpec(
         mode=mode,
         pic0_event=pic0.upper() if isinstance(pic0, str) else Event.INSTRS,
@@ -118,6 +122,7 @@ def _build_spec(mode, args):
         engine=getattr(args, "engine", None),
         by_site=not getattr(args, "merge_sites", False),
         read_at_backedges=getattr(args, "backedge_reads", False),
+        **extra,
     )
 
 
@@ -273,8 +278,10 @@ def cmd_profile(args) -> int:
 
         store = ProfileStore(args.store)
     workload = getattr(args, "workload", None)
-    if mode == "flow_hw":
-        base = session.run(replace(spec, mode="baseline"), program, run_args)
+    if mode in ("flow_hw", "kflow"):
+        base = session.run(
+            replace(spec, mode="baseline", k=None), program, run_args
+        )
         run = session.run(
             spec, program, run_args, store=store, workload=workload
         )
@@ -498,6 +505,7 @@ _SHARD_MODES = {
     "combined": "context_flow",
     "context": "context_hw",
     "flow": "flow_hw",
+    "kflow": "kflow",
 }
 
 
@@ -536,14 +544,25 @@ def cmd_shard_run(args) -> int:
             if args.inputs is not None
             else [tuple(_int_args(args.args))]
         )
-        spec = ShardSpec(
+        mode = _SHARD_MODES[args.mode]
+        spec_kwargs = dict(
             source=None if args.file.endswith(".asm") else text,
             asm=text if args.file.endswith(".asm") else None,
             inputs=inputs,
-            mode=_SHARD_MODES[args.mode],
             timeout=args.timeout,
             backoff=args.backoff,
         )
+        if mode == "kflow":
+            # ``k`` lives only on the embedded ProfileSpec; the legacy
+            # mode= keyword has no way to carry it.
+            from repro.session import ProfileSpec
+
+            spec_kwargs["profile"] = ProfileSpec(
+                mode="kflow", k=getattr(args, "k", None) or 1
+            )
+        else:
+            spec_kwargs["mode"] = mode
+        spec = ShardSpec(**spec_kwargs)
         outcome = shard_run(
             spec,
             args.shards,
@@ -751,6 +770,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--placement", choices=["simple", "spanning_tree"], default="spanning_tree"
     )
     profile.add_argument("--engine", help="execution engine override")
+    profile.add_argument(
+        "--k",
+        type=int,
+        default=1,
+        help="kflow mode only: paths span up to k loop iterations",
+    )
     profile.add_argument("--pic0", default="INSTRS", help="PIC0 event name")
     profile.add_argument("--pic1", default="DC_MISS", help="PIC1 event name")
     profile.add_argument("--threshold", type=float, default=0.01)
@@ -817,6 +842,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(_SHARD_MODES),
         default="combined",
         help="profiling configuration to run and merge",
+    )
+    shard.add_argument(
+        "--k",
+        type=int,
+        default=1,
+        help="kflow mode only: paths span up to k loop iterations",
     )
     shard.add_argument("--limit", type=int, default=25, help="max rows printed")
     shard.add_argument(

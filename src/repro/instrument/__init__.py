@@ -19,6 +19,7 @@ from repro.instrument.pathinstr import (
     FunctionPathInfo,
     instrument_paths,
 )
+from repro.instrument.kflowinstr import instrument_kpaths
 from repro.instrument.edgeinstr import (
     EdgeInstrumentation,
     instrument_edges,
@@ -36,6 +37,7 @@ __all__ = [
     "TableKind",
     "instrument_context",
     "instrument_edges",
+    "instrument_kpaths",
     "instrument_paths",
     "reconstruct_edge_counts",
 ]

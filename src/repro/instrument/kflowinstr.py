@@ -1,0 +1,143 @@
+"""k-iteration flow instrumentation (multi-iteration Ball–Larus paths).
+
+Lowers a :class:`~repro.pathprof.placement.KInstrumentationPlan` onto a
+function.  The single scavenged path register packs
+``path_sum * k + layer`` where ``layer`` counts backedge crossings since
+the last commit:
+
+* function entry: ``[HwcSave, HwcZero]`` then ``r = 0`` (packed
+  ``(path 0, layer 0)``) — :class:`~repro.ir.PathReset` is reused as is;
+* plan increments: layer-uniform values lower to a plain
+  ``r += v * k`` (:class:`~repro.ir.PathAdd`; the scaling preserves the
+  packed layer), layer-dependent ones to
+  :class:`~repro.ir.KPathAdd` with a pre-scaled per-layer table;
+* backedges: :class:`~repro.ir.KHwcCycle` — cross into the next layer
+  (``r += raw*k + 1``) or, at layer ``k-1``, the Figure 3 commit
+  sequence with rezero and packed restart;
+* returning blocks: :class:`~repro.ir.KHwcExit` (layer-dependent end
+  value, no rezero) followed by the counter restore.
+
+``k = 1`` delegates wholesale to
+:func:`~repro.instrument.pathinstr.instrument_paths` in hw mode: the
+layered graph degenerates to the base transform with identical edge
+indices, so delegation makes k=1 kflow profiles *byte-identical* to
+``flow_hw`` — the anchor of the k=1 reconstruction law.
+
+kflow is hardware-metrics-only (the mode exists to attribute counter
+events across iterations; a frequency-only variant would just be the
+projection of the hw run).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.cfg.graph import build_cfg
+from repro.edit.editor import FunctionEditor
+from repro.instrument.pathinstr import (
+    MODE_HW,
+    FlowInstrumentation,
+    FunctionPathInfo,
+    instrument_paths,
+)
+from repro.instrument.tables import ProfilingRuntime
+from repro.ir.function import Function, Program
+from repro.ir.instructions import (
+    HwcRestore,
+    HwcSave,
+    HwcZero,
+    Instruction,
+    KHwcCycle,
+    KHwcExit,
+    KPathAdd,
+    PathAdd,
+    PathReset,
+)
+from repro.pathprof.kiter import number_kpaths
+from repro.pathprof.placement import plan_kflow
+
+
+def instrument_kpaths(
+    program: Program,
+    k: int = 1,
+    placement: str = "spanning_tree",
+    runtime: Optional[ProfilingRuntime] = None,
+    functions: Optional[Iterable[str]] = None,
+) -> FlowInstrumentation:
+    """Instrument ``program`` in place for k-iteration path profiling.
+
+    ``placement`` only affects the ``k = 1`` delegation; for ``k > 1``
+    the per-edge layered scheme is the placement (chord optimization
+    over the product graph is future work).
+    """
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise ValueError(f"k must be an int >= 1, got {k!r}")
+    if k == 1:
+        return instrument_paths(
+            program,
+            mode=MODE_HW,
+            placement=placement,
+            runtime=runtime,
+            functions=functions,
+        )
+    if runtime is None:
+        from repro.machine.memory import MemoryMap
+
+        runtime = ProfilingRuntime(MemoryMap().profiling.base)
+    result = FlowInstrumentation(program, runtime, MODE_HW)
+    selected = set(functions) if functions is not None else None
+    for function in program.functions.values():
+        if selected is not None and function.name not in selected:
+            continue
+        result.functions[function.name] = _instrument_function(function, k, runtime)
+    return result
+
+
+def _instrument_function(
+    function: Function, k: int, runtime: ProfilingRuntime
+) -> FunctionPathInfo:
+    cfg = build_cfg(function)
+    numbering = number_kpaths(cfg, k)
+    plan = plan_kflow(numbering)
+
+    editor = FunctionEditor(function, cfg)
+    scavenge = editor.scavenge_register()
+    register = scavenge.register
+
+    table = runtime.new_table(function.name, numbering.num_paths, metric_slots=2)
+    table_id = table.table_id
+
+    def wrap(instrs: List[Instruction]) -> List[Instruction]:
+        return editor.wrap_spilled(scavenge, instrs)
+
+    entry_seq: List[Instruction] = [HwcSave(), HwcZero()]
+    entry_seq.extend(wrap([PathReset(register)]))
+    editor.insert_at_entry(entry_seq)
+
+    for inc in plan.increments:
+        if inc.edge.kind == "entry":
+            # The synthetic ENTRY->first edge executes exactly at
+            # function entry, after the reset — always at layer 0.
+            editor.insert_at_entry(wrap([PathAdd(register, inc.values[0] * k)]))
+        elif all(v == inc.values[0] for v in inc.values):
+            editor.insert_on_edge(inc.edge, wrap([PathAdd(register, inc.values[0] * k)]))
+        else:
+            scaled = tuple(v * k for v in inc.values)
+            editor.insert_on_edge(inc.edge, wrap([KPathAdd(register, k, scaled)]))
+
+    for bi in plan.backedge_instrs:
+        cross = tuple(v * k + 1 for v in bi.cross)
+        editor.insert_on_edge(
+            bi.edge,
+            wrap([KHwcCycle(register, k, cross, bi.end_val, bi.start_val * k, table_id)]),
+        )
+
+    for ec in plan.exit_commits:
+        seq = wrap([KHwcExit(register, k, tuple(ec.values), table_id)])
+        seq.append(HwcRestore())
+        editor.insert_before_terminator(ec.block, seq)
+
+    editor.apply()
+    return FunctionPathInfo(
+        function.name, numbering, plan, table, register, scavenge.spilled
+    )

@@ -212,5 +212,39 @@ class ProfilingRuntime:
         if instr.reset_to is not None:
             frame.regs[instr.reg] = instr.reset_to
 
+    def k_cycle(self, machine, frame, instr) -> None:
+        """Backedge probe for k-iteration paths (KHwcCycle).
+
+        The register packs ``path_sum * k + layer``.  Below the last
+        layer the backedge merely continues the path (pre-scaled cross
+        increment folds in the layer bump); at layer ``k-1`` it runs the
+        Figure 3 commit with rezero and restarts at the packed START.
+        The operation order mirrors :meth:`accumulate` exactly — the
+        fast/trace tiers generate this same sequence inline.
+        """
+        reg = frame.regs[instr.reg]
+        layer = reg % instr.k
+        if layer != instr.k - 1:
+            frame.regs[instr.reg] = reg + instr.cross[layer]
+            return
+        pic0, pic1 = machine.pic.read()
+        index = (reg - layer) // instr.k + instr.end
+        self.table_for(machine, frame, instr.table).accumulate(
+            machine, index, (pic0, pic1)
+        )
+        machine.pic.write_zero()
+        machine.pic.read()
+        frame.regs[instr.reg] = instr.start
+
+    def k_exit(self, machine, frame, instr) -> None:
+        """Exit commit for k-iteration paths (KHwcExit): layer-indexed end value."""
+        pic0, pic1 = machine.pic.read()
+        reg = frame.regs[instr.reg]
+        layer = reg % instr.k
+        index = (reg - layer) // instr.k + instr.values[layer]
+        self.table_for(machine, frame, instr.table).accumulate(
+            machine, index, (pic0, pic1)
+        )
+
     def edge_count(self, machine, instr) -> None:
         self.tables[instr.table].bump(machine, instr.edge)

@@ -57,6 +57,9 @@ class Kind(IntEnum):
     FRAME_LOAD = 25
     FRAME_STORE = 26
     CCT_PROBE = 27
+    K_PATH_ADD = 28
+    K_HWC_CYCLE = 29
+    K_HWC_EXIT = 30
 
 
 @dataclass(frozen=True, slots=True)
@@ -600,6 +603,88 @@ class CctProbe(Instruction):
 
     kind = Kind.CCT_PROBE
     icost = 6
+
+
+@dataclass(slots=True)
+class KPathAdd(Instruction):
+    """``r += values[r % k]`` — per-layer Val(e) increment for k-iteration paths.
+
+    The k-iteration path register packs ``path_sum * k + layer`` into one
+    scavenged register, where ``layer`` counts backedge crossings since the
+    last commit.  ``values`` holds one increment per layer, each pre-scaled
+    by ``k`` so the packed layer component is preserved.  Edges whose
+    increment is uniform across layers are lowered to a plain
+    :class:`PathAdd` instead; this instruction pays one extra machine op
+    for the layer-indexed table lookup.
+    """
+
+    reg: int
+    k: int
+    values: tuple
+
+    kind = Kind.K_PATH_ADD
+    icost = 2
+
+    def operands(self) -> tuple:
+        return (self.reg,)
+
+    def defined(self) -> tuple:
+        return (self.reg,)
+
+
+@dataclass(slots=True)
+class KHwcCycle(Instruction):
+    """Backedge probe for k-iteration paths: cross a layer or commit.
+
+    With packed register ``r = path_sum * k + layer``: when
+    ``layer < k - 1`` the backedge continues the current path into the
+    next layer (``r += cross[layer]``, where each cross value is
+    pre-scaled as ``raw * k + 1`` to fold in the layer bump); when
+    ``layer == k - 1`` it commits like :class:`HwcAccum` with
+    ``index = path_sum + end``, rezeroes the counters, and resets
+    ``r = start`` (pre-scaled ``raw_start * k``, layer 0).  The commit arm
+    is the paper's Figure 3 sequence plus the layer test, hence one extra
+    machine op over :class:`HwcAccum`.
+    """
+
+    reg: int
+    k: int
+    cross: tuple
+    end: int
+    start: int
+    table: int
+
+    kind = Kind.K_HWC_CYCLE
+    icost = 14
+
+    def operands(self) -> tuple:
+        return (self.reg,)
+
+    def defined(self) -> tuple:
+        return (self.reg,)
+
+
+@dataclass(slots=True)
+class KHwcExit(Instruction):
+    """Exit commit for k-iteration paths (no rezero, no reset).
+
+    Unpacks ``r = path_sum * k + layer`` and accumulates into
+    ``index = path_sum + values[layer]`` where ``values`` holds the raw
+    per-layer exit edge value.  Unlike :class:`HwcAccum` the end value is
+    layer-dependent, so the exit commit cannot collapse to the base
+    instruction for ``k > 1``.
+    """
+
+    reg: int
+    k: int
+    values: tuple
+    table: int
+
+    kind = Kind.K_HWC_EXIT
+    icost = 14
+
+    def operands(self) -> tuple:
+        return (self.reg,)
 
 
 _TERMINATORS = frozenset({Kind.BR, Kind.CBR, Kind.RET, Kind.LONGJMP})

@@ -129,6 +129,7 @@ _INLINE_KINDS = frozenset(
         Kind.CBR,
         Kind.PATH_RESET,
         Kind.PATH_ADD,
+        Kind.K_PATH_ADD,
     }
 )
 
@@ -447,6 +448,22 @@ def _make_body(machine, counts, instr, next_index: int, fname: str, Frame, Machi
 
         return body
 
+    if kind == Kind.K_HWC_CYCLE:
+
+        def body(frame, instr=instr):
+            machine._require_path_runtime().k_cycle(machine, frame, instr)
+            return False
+
+        return body
+
+    if kind == Kind.K_HWC_EXIT:
+
+        def body(frame, instr=instr):
+            machine._require_path_runtime().k_exit(machine, frame, instr)
+            return False
+
+        return body
+
     if kind == Kind.HWC_ZERO:
         pic = machine.pic
 
@@ -714,6 +731,11 @@ class _SegmentWriter:
             self.emit(f"{self.wr(instr.reg)} = 0")
         elif kind == Kind.PATH_ADD:
             self.emit(f"{self.rw(instr.reg)} += {_literal(instr.value)}")
+        elif kind == Kind.K_PATH_ADD:
+            self.emit(f"_r = {self.rd(instr.reg)}")
+            self.emit(
+                f"{self.wr(instr.reg)} = _r + {_literal(instr.values)}[_r % {instr.k}]"
+            )
         elif kind == Kind.BR:
             self.flush_costs()
             self.sync_cell()
@@ -796,6 +818,10 @@ class _SegmentWriter:
             self._fuse_commit(instr, plan[1])
         elif op == "accum":
             self._fuse_accum(instr, plan[1])
+        elif op == "k_cycle":
+            self._fuse_kcycle(instr, plan[1])
+        elif op == "k_exit":
+            self._fuse_kexit(instr, plan[1])
         elif op == "edge":
             self._fuse_edge(instr, plan[1])
         elif op == "hwc_zero":
@@ -873,6 +899,63 @@ class _SegmentWriter:
             self.emit(f"{pr}()")
         if instr.reset_to is not None:
             self.emit(f"{self.wr(instr.reg)} = {instr.reset_to}")
+
+    def _accum_slots(self, instr, table, indent: int) -> None:
+        """The in-range accumulate body with ``_i`` and ``_p`` already set.
+
+        Mirrors :meth:`_fuse_accum`'s interior, parameterized on indent
+        so the k-iteration probes can nest it under their layer branch.
+        """
+        tc = self.param("tblc", instr.table)
+        tm = self.param("tblm", instr.table)
+        self.emit(f"_a = {table.base} + _i * {table.slot_words * WORD}", indent)
+        self._bump(tc, "_i", "_a", indent)
+        self.emit(f"_m = {tm}.get(_i)", indent)
+        self.emit("if _m is None:", indent)
+        self.emit("    _m = [0, 0]", indent)
+        self.emit(f"    {tm}[_i] = _m", indent)
+        self.emit(f"_a += {WORD}", indent)
+        self.probe_read("_a", indent)
+        self.emit("_m[0] += _p[0]", indent)
+        self.probe_write("_a", "_m[0]", indent)
+        self.emit(f"_a += {WORD}", indent)
+        self.probe_read("_a", indent)
+        self.emit("_m[1] += _p[1]", indent)
+        self.probe_write("_a", "_m[1]", indent)
+
+    def _fuse_kcycle(self, instr, table) -> None:
+        # Mirrors ProfilingRuntime.k_cycle exactly: layer test first, the
+        # commit arm repeating the accumulate order (PIC read, index,
+        # table update, rezero, packed restart).
+        pr = self.param("picr")
+        k = instr.k
+        self.emit(f"_r = {self.rd(instr.reg)}")
+        self.emit(f"_l = _r % {k}")
+        self.emit(f"if _l != {k - 1}:")
+        self.emit(f"    {self.wr(instr.reg)} = _r + {_literal(instr.cross)}[_l]")
+        self.emit("else:")
+        self.emit(f"    _p = {pr}()")
+        self.emit(f"    _i = (_r - _l) // {k} + {instr.end}")
+        self.emit(f"    if 0 <= _i < {table.capacity}:")
+        self._accum_slots(instr, table, 4)
+        self.emit("    else:")
+        self.emit(f"        {self.param('tbl', instr.table)}.out_of_range += 1")
+        self.emit(f"    {self.param('picz')}()")
+        self.emit(f"    {pr}()")
+        self.emit(f"    {self.wr(instr.reg)} = {instr.start}")
+
+    def _fuse_kexit(self, instr, table) -> None:
+        # Mirrors ProfilingRuntime.k_exit: layer-indexed end value, no
+        # rezero, no reset.
+        pr = self.param("picr")
+        self.emit(f"_p = {pr}()")
+        self.emit(f"_r = {self.rd(instr.reg)}")
+        self.emit(f"_l = _r % {instr.k}")
+        self.emit(f"_i = (_r - _l) // {instr.k} + {_literal(instr.values)}[_l]")
+        self.emit(f"if 0 <= _i < {table.capacity}:")
+        self._accum_slots(instr, table, 3)
+        self.emit("else:")
+        self.emit(f"    {self.param('tbl', instr.table)}.out_of_range += 1")
 
     def _fuse_edge(self, instr, table) -> None:
         # The edge index is a compile-time constant, so the range check
@@ -966,7 +1049,15 @@ class _SegmentWriter:
 _TRANSFER_HANDLERS = frozenset({Kind.CALL, Kind.ICALL, Kind.RET, Kind.LONGJMP})
 
 #: Instrumentation kinds whose fusibility depends on the path runtime.
-_TABLE_KINDS = frozenset({Kind.PATH_COMMIT, Kind.HWC_ACCUM, Kind.EDGE_COUNT})
+_TABLE_KINDS = frozenset(
+    {
+        Kind.PATH_COMMIT,
+        Kind.HWC_ACCUM,
+        Kind.EDGE_COUNT,
+        Kind.K_HWC_CYCLE,
+        Kind.K_HWC_EXIT,
+    }
+)
 #: CCT hooks the generator can fuse (CctProbe stays a closure: rare,
 #: and its interval restart shares no structure with enter/exit).
 _CCT_FUSED_KINDS = frozenset({Kind.CCT_ENTER, Kind.CCT_CALL, Kind.CCT_EXIT})
@@ -978,7 +1069,12 @@ _TABLE_PLAN_OPS = {
     Kind.PATH_COMMIT: "commit",
     Kind.HWC_ACCUM: "accum",
     Kind.EDGE_COUNT: "edge",
+    Kind.K_HWC_CYCLE: "k_cycle",
+    Kind.K_HWC_EXIT: "k_exit",
 }
+
+#: Table kinds whose fused body hard-codes two metric slots.
+_METRIC_TABLE_KINDS = frozenset({Kind.HWC_ACCUM, Kind.K_HWC_CYCLE, Kind.K_HWC_EXIT})
 _CCT_PLAN_OPS = {
     Kind.CCT_ENTER: "cct_enter",
     Kind.CCT_CALL: "cct_call",
@@ -1009,7 +1105,7 @@ def _fuse_plan(machine, instr) -> Optional[Tuple]:
         table = runtime.tables[instr.table]
         if table.kind is not TableKind.ARRAY:
             return None
-        if kind == Kind.HWC_ACCUM and table.metric_slots != 2:
+        if kind in _METRIC_TABLE_KINDS and table.metric_slots != 2:
             return None
         return (_TABLE_PLAN_OPS[kind], table)
     if kind in _CCT_FUSED_KINDS:

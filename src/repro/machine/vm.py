@@ -704,6 +704,14 @@ class Machine:
                     self.pic.read()
                 elif kind == Kind.EDGE_COUNT:
                     self._require_path_runtime().edge_count(self, instr)
+                elif kind == Kind.K_PATH_ADD:
+                    regs = frame.regs
+                    value = regs[instr.reg]
+                    regs[instr.reg] = value + instr.values[value % instr.k]
+                elif kind == Kind.K_HWC_CYCLE:
+                    self._require_path_runtime().k_cycle(self, frame, instr)
+                elif kind == Kind.K_HWC_EXIT:
+                    self._require_path_runtime().k_exit(self, frame, instr)
                 elif kind == Kind.CCT_ENTER:
                     self._require_cct_runtime().enter(self, frame, instr)
                 elif kind == Kind.CCT_CALL:

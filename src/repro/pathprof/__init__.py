@@ -12,6 +12,10 @@ Pipeline:
    simple per-edge scheme of Figure 1(c), or the spanning-tree chord
    optimization of Figure 1(d) (from the Ball–Larus MICRO'96 paper the
    authors cite).
+4. :mod:`repro.pathprof.kiter` extends the numbering to paths crossing
+   up to k loop backedges (D'Elia & Demetrescu's multi-iteration
+   scheme) via a layered product graph; ids stay dense and the k=1
+   case degenerates to the base numbering exactly.
 """
 
 from repro.pathprof.transform import TEdge, TransformedGraph, build_transformed
@@ -21,11 +25,24 @@ from repro.pathprof.numbering import (
     ReconstructedPath,
     number_paths,
 )
+from repro.pathprof.kiter import (
+    KPathNumbering,
+    KTransformedGraph,
+    build_ktransformed,
+    number_kpaths,
+    project_kpath_counts,
+    split_kpath,
+)
 from repro.pathprof.placement import (
     BackedgeInstr,
     EdgeIncrement,
     ExitCommit,
     InstrumentationPlan,
+    KBackedgeInstr,
+    KEdgeIncrement,
+    KExitCommit,
+    KInstrumentationPlan,
+    plan_kflow,
     plan_simple,
     plan_spanning_tree,
 )
@@ -36,14 +53,25 @@ __all__ = [
     "EdgeIncrement",
     "ExitCommit",
     "InstrumentationPlan",
+    "KBackedgeInstr",
+    "KEdgeIncrement",
+    "KExitCommit",
+    "KInstrumentationPlan",
+    "KPathNumbering",
+    "KTransformedGraph",
     "PathNumbering",
     "PathProfilingError",
     "ReconstructedPath",
     "TEdge",
     "TransformedGraph",
+    "build_ktransformed",
     "build_transformed",
     "estimate_edge_frequencies",
+    "number_kpaths",
     "number_paths",
+    "plan_kflow",
     "plan_simple",
     "plan_spanning_tree",
+    "project_kpath_counts",
+    "split_kpath",
 ]

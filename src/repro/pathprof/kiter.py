@@ -1,0 +1,237 @@
+"""k-iteration Ball–Larus path numbering (multi-iteration path profiling).
+
+The base transform (:mod:`repro.pathprof.transform`) truncates every
+path at a loop backedge, so cross-iteration behaviour is invisible by
+construction.  Following D'Elia & Demetrescu ("Ball-Larus Path Profiling
+Across Multiple Loop Iterations"), this module numbers paths that cross
+up to ``k`` backedges by running the ordinary Ball–Larus numbering over
+a *layered product graph*:
+
+* ``k`` copies of the acyclified CFG body stacked as layers ``0..k-1``
+  (a vertex is the tuple ``(block, layer)``; ENTRY and EXIT stay
+  unreplicated),
+* each backedge ``v->w`` contributes its usual pseudo edges — a start
+  edge ``ENTRY -> (w, 0)`` and an end edge ``(v, k-1) -> EXIT`` — plus
+  ``k-1`` *cross* edges ``(v, i) -> (w, i+1)`` that let a path continue
+  through the backedge into the next layer,
+* edges into EXIT are kept at every layer, so paths may end after fewer
+  than ``k`` crossings.
+
+Because :class:`~repro.pathprof.numbering.PathNumbering` never inspects
+vertex names, it runs unmodified over the layered graph and yields the
+same unique/compact guarantee: path sums are dense in
+``[0, num_paths)``.  At ``k = 1`` the layered graph's edge list is
+index-identical to :func:`~repro.pathprof.transform.build_transformed`'s,
+so the Val labelling — and therefore every downstream artifact — is
+*equal*, not merely isomorphic.
+
+The probe encoding packs ``path_sum * k + layer`` into the single
+scavenged path register; see :mod:`repro.instrument.kflowinstr`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cfg.analysis import backedges as find_backedges
+from repro.cfg.graph import CFG, Edge
+from repro.pathprof.numbering import PathNumbering, ReconstructedPath
+from repro.pathprof.transform import TEdge
+
+
+def _block_name(vertex) -> str:
+    """Map a layered vertex back to its CFG block name."""
+    return vertex[0] if isinstance(vertex, tuple) else vertex
+
+
+class KTransformedGraph:
+    """The layered acyclic graph the k-iteration numbering runs on.
+
+    Duck-typed to :class:`~repro.pathprof.transform.TransformedGraph`
+    (``entry``/``exit``/``vertices``/``succ``/``pred``/``edges``/
+    ``backedges``/``pseudo_for_backedge``) so
+    :class:`~repro.pathprof.numbering.PathNumbering` works unchanged.
+    Non-string vertices are ``(block, layer)`` tuples.
+    """
+
+    def __init__(self, cfg: CFG, k: int):
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise ValueError(f"k must be an int >= 1, got {k!r}")
+        self.cfg = cfg
+        self.k = k
+        self.entry = cfg.entry
+        self.exit = cfg.exit
+        self.vertices: List[object] = [cfg.entry]
+        for layer in range(k):
+            for v in cfg.vertices:
+                if v != cfg.entry and v != cfg.exit:
+                    self.vertices.append((v, layer))
+        self.vertices.append(cfg.exit)
+        self.succ: Dict[object, List[TEdge]] = {v: [] for v in self.vertices}
+        self.pred: Dict[object, List[TEdge]] = {v: [] for v in self.vertices}
+        self.edges: List[TEdge] = []
+        self.backedges: List[Edge] = []
+        #: backedge CFG index -> (start TEdge, end TEdge)
+        self.pseudo_for_backedge: Dict[int, Tuple[TEdge, TEdge]] = {}
+        #: backedge CFG index -> [cross TEdge at layer 0 .. layer k-2]
+        self.cross_for_backedge: Dict[int, List[TEdge]] = {}
+        #: (CFG edge index, layer) -> its real TEdge copy
+        self.layer_edges: Dict[Tuple[int, int], TEdge] = {}
+
+    def _vmap(self, name: str, layer: int):
+        if name == self.cfg.entry or name == self.cfg.exit:
+            return name
+        return (name, layer)
+
+    def _add(self, src, dst, role: str, origin: Edge) -> TEdge:
+        edge = TEdge(src, dst, len(self.edges), role, origin)
+        self.edges.append(edge)
+        self.succ[src].append(edge)
+        self.pred[dst].append(edge)
+        return edge
+
+
+def build_ktransformed(cfg: CFG, k: int) -> KTransformedGraph:
+    """Build the layered product graph for paths crossing up to ``k-1`` backedges.
+
+    The edge insertion order is a contract: at ``k = 1`` it is
+    index-identical to :func:`build_transformed` (non-backedge CFG edges
+    in CFG order, then start/end pseudo pairs in backedge-discovery
+    order), which is what makes k=1 profiles byte-identical to the base
+    flow modes.
+    """
+    graph = KTransformedGraph(cfg, k)
+    back = find_backedges(cfg)
+    back_indices = {e.index for e in back}
+    graph.backedges = back
+    for layer in range(k):
+        for edge in cfg.edges:
+            if edge.index in back_indices:
+                continue
+            if edge.src == cfg.entry and layer > 0:
+                continue  # ENTRY has no predecessors; it exists only at layer 0
+            tedge = graph._add(
+                graph._vmap(edge.src, layer), graph._vmap(edge.dst, layer), "real", edge
+            )
+            graph.layer_edges[(edge.index, layer)] = tedge
+    for edge in back:
+        start = graph._add(cfg.entry, graph._vmap(edge.dst, 0), "start", edge)
+        crosses = [
+            graph._add(
+                graph._vmap(edge.src, i), graph._vmap(edge.dst, i + 1), "cross", edge
+            )
+            for i in range(k - 1)
+        ]
+        end = graph._add(graph._vmap(edge.src, k - 1), cfg.exit, "end", edge)
+        graph.pseudo_for_backedge[edge.index] = (start, end)
+        graph.cross_for_backedge[edge.index] = crosses
+    return graph
+
+
+class KPathNumbering(PathNumbering):
+    """Ball–Larus numbering over the layered product graph.
+
+    All machinery is inherited; only decoding needs to project layered
+    ``(block, layer)`` vertices back to block names so reconstructed
+    paths read like ordinary block sequences.
+    """
+
+    graph: KTransformedGraph
+
+    @property
+    def k(self) -> int:
+        return self.graph.k
+
+    def _decode(self, path_sum: int, tedges: List[TEdge]) -> ReconstructedPath:
+        entry_backedge: Optional[Edge] = None
+        exit_backedge: Optional[Edge] = None
+        edges = list(tedges)
+        if edges and edges[0].role == "start":
+            entry_backedge = edges[0].origin
+        if edges and edges[-1].role == "end":
+            exit_backedge = edges[-1].origin
+        blocks: List[str] = []
+        if edges:
+            first = edges[0]
+            blocks.append(_block_name(first.dst if first.role == "start" else first.src))
+            for edge in edges[1:] if first.role == "start" else edges:
+                if edge.dst != self.graph.exit:
+                    blocks.append(_block_name(edge.dst))
+        return ReconstructedPath(path_sum, edges, blocks, entry_backedge, exit_backedge)
+
+    # -- per-layer value helpers (used by probe placement) ---------------------
+
+    def layer_values(self, cfg_edge: Edge) -> Tuple[Optional[int], ...]:
+        """Val of each layer copy of a non-backedge CFG edge.
+
+        ``None`` marks a layer whose copy is unreachable in the layered
+        graph (the numbering never labels edges out of unreachable
+        vertices); reachability over-approximates dynamic occupancy, so
+        such entries are never consulted at run time.
+        """
+        values: List[Optional[int]] = []
+        for layer in range(self.k):
+            tedge = self.graph.layer_edges.get((cfg_edge.index, layer))
+            values.append(None if tedge is None else self.val.get(tedge.index))
+        return tuple(values)
+
+    def cross_values(self, backedge: Edge) -> Tuple[int, ...]:
+        """Raw Val of the cross edge at each layer ``0..k-2`` (0 if unreachable)."""
+        return tuple(
+            self.val.get(tedge.index, 0)
+            for tedge in self.graph.cross_for_backedge[backedge.index]
+        )
+
+
+def number_kpaths(cfg: CFG, k: int) -> KPathNumbering:
+    """Convenience: build the layered graph for ``cfg`` and number its paths."""
+    return KPathNumbering(build_ktransformed(cfg, k))
+
+
+# ---------------------------------------------------------------------------
+# The k=1 reconstruction law: prefix-splitting a k-path at its backedge
+# crossings yields base (1-iteration) paths whose summed frequencies
+# equal an independently measured k=1 profile exactly, because the two
+# instrumentations partition the *same* dynamic edge stream — only the
+# commit points differ.  (Metrics do not project: probe overhead differs
+# with k.)
+# ---------------------------------------------------------------------------
+
+
+def split_kpath(knum: KPathNumbering, base: PathNumbering, path_sum: int) -> List[int]:
+    """Split one k-path into the base path sums of its per-iteration segments.
+
+    Walks the decoded layered-edge sequence; every cross edge closes the
+    current segment with the base backedge's END value and opens the next
+    with its START value, while real/start/end edges map to their base
+    Val through the shared CFG edge.
+    """
+    bgraph = base.graph
+    sums: List[int] = []
+    current = 0
+    for tedge in knum.regenerate(path_sum).tedges:
+        pseudo = bgraph.pseudo_for_backedge.get(tedge.origin.index)
+        if tedge.role == "start":
+            current = base.val[pseudo[0].index]
+        elif tedge.role == "cross":
+            sums.append(current + base.val[pseudo[1].index])
+            current = base.val[pseudo[0].index]
+        elif tedge.role == "end":
+            current += base.val[pseudo[1].index]
+        else:
+            current += base.val[bgraph.real_edge_for(tedge.origin).index]
+    sums.append(current)
+    return sums
+
+
+def project_kpath_counts(
+    knum: KPathNumbering, base: PathNumbering, counts: Dict[int, int]
+) -> Dict[int, int]:
+    """Project a k-path frequency table onto base (k=1) path sums."""
+    projected: Dict[int, int] = {}
+    for path_sum, freq in counts.items():
+        if freq == 0:
+            continue
+        for segment in split_kpath(knum, base, path_sum):
+            projected[segment] = projected.get(segment, 0) + freq
+    return projected

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.cfg.graph import CFG, Edge
+from repro.pathprof.kiter import KPathNumbering
 from repro.pathprof.numbering import PathNumbering
 from repro.pathprof.transform import TEdge
 
@@ -108,6 +109,148 @@ class InstrumentationPlan:
                 f"{self.cfg.name}: path {path.describe()} commits {register}, "
                 f"expected {path.path_sum}"
             )
+
+
+# ---------------------------------------------------------------------------
+# k-iteration placement (kflow mode)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KEdgeIncrement:
+    """``r += values[layer]`` on a real CFG edge (raw, unscaled values).
+
+    ``values`` has one entry per layer; edges whose value is uniform
+    across layers are lowered to a plain :class:`~repro.ir.PathAdd`.
+    """
+
+    edge: Edge
+    values: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class KBackedgeInstr:
+    """Backedge probe: cross into the next layer, or commit at layer k-1.
+
+    ``cross[i]`` is the raw Val of the cross edge leaving layer ``i``;
+    ``end_val``/``start_val`` are the raw Vals of the layered graph's
+    end/start pseudo edges (the commit index offset and post-commit
+    restart).
+    """
+
+    edge: Edge
+    cross: Tuple[int, ...]
+    end_val: int
+    start_val: int
+
+
+@dataclass(frozen=True)
+class KExitCommit:
+    """``count[path + values[layer]] += 1`` in a returning block."""
+
+    block: str
+    values: Tuple[int, ...]
+
+
+@dataclass
+class KInstrumentationPlan:
+    """Per-layer probe placement for one function's k-iteration profile."""
+
+    numbering: KPathNumbering
+    method: str
+    increments: List[KEdgeIncrement] = field(default_factory=list)
+    backedge_instrs: List[KBackedgeInstr] = field(default_factory=list)
+    exit_commits: List[KExitCommit] = field(default_factory=list)
+
+    @property
+    def num_paths(self) -> int:
+        return self.numbering.num_paths
+
+    @property
+    def cfg(self) -> CFG:
+        return self.numbering.cfg
+
+    def check_path_sums(self, limit: int = 4096) -> None:
+        """Simulate the packed-register probes over regenerated k-paths.
+
+        The register packs ``path_sum * k + layer``; each probe must
+        telescope to the path's sum at its commit point.  Raises
+        ``AssertionError`` on mismatch.
+        """
+        k = self.numbering.k
+        inc_by_edge = {inc.edge.index: inc.values for inc in self.increments}
+        bi_by_edge = {bi.edge.index: bi for bi in self.backedge_instrs}
+        commit_by_block = {ec.block: ec.values for ec in self.exit_commits}
+        exit_vertex = self.numbering.graph.exit
+        for path in self.numbering.enumerate_paths(limit=limit):
+            register = 0
+            if path.entry_backedge is not None:
+                register = bi_by_edge[path.entry_backedge.index].start_val * k
+            for tedge in path.tedges:
+                layer = register % k
+                if tedge.role == "real" and tedge.dst != exit_vertex:
+                    values = inc_by_edge.get(tedge.origin.index)
+                    if values is not None:
+                        register += values[layer] * k
+                elif tedge.role == "cross":
+                    register += bi_by_edge[tedge.origin.index].cross[layer] * k + 1
+            layer = register % k
+            if path.exit_backedge is not None:
+                assert layer == k - 1, (
+                    f"{self.cfg.name}: path {path.describe()} takes the end "
+                    f"pseudo edge at layer {layer}, expected {k - 1}"
+                )
+                committed = (register - layer) // k + bi_by_edge[
+                    path.exit_backedge.index
+                ].end_val
+            else:
+                committed = (register - layer) // k + commit_by_block[path.blocks[-1]][
+                    layer
+                ]
+            assert committed == path.path_sum, (
+                f"{self.cfg.name}: path {path.describe()} commits {committed}, "
+                f"expected {path.path_sum}"
+            )
+
+
+def plan_kflow(numbering: KPathNumbering) -> KInstrumentationPlan:
+    """Per-edge placement over the layered graph (the kflow scheme).
+
+    Each surviving CFG edge carries the per-layer Vals of its ``k``
+    copies; unreachable layer copies are padded with the uniform
+    reachable value when one exists (so the edge still collapses to a
+    single plain add) and 0 otherwise — reachability over-approximates
+    dynamic occupancy, so padded entries are never read at run time.
+    """
+    plan = KInstrumentationPlan(numbering, method="kflow")
+    graph = numbering.graph
+    cfg = numbering.cfg
+    back_indices = {e.index for e in graph.backedges}
+    for edge in cfg.edges:
+        if edge.index in back_indices:
+            continue
+        raw = numbering.layer_values(edge)
+        reachable = [v for v in raw if v is not None]
+        if not reachable:
+            continue  # no layer copy reachable from ENTRY: never executes
+        uniform = reachable[0] if all(v == reachable[0] for v in reachable) else None
+        pad = uniform if uniform is not None else 0
+        values = tuple(pad if v is None else v for v in raw)
+        if edge.dst == cfg.exit:
+            plan.exit_commits.append(KExitCommit(edge.src, values))
+        elif any(values):
+            plan.increments.append(KEdgeIncrement(edge, values))
+    for backedge in graph.backedges:
+        start, end = graph.pseudo_for_backedge[backedge.index]
+        plan.backedge_instrs.append(
+            KBackedgeInstr(
+                backedge,
+                numbering.cross_values(backedge),
+                numbering.val.get(end.index, 0),
+                numbering.val[start.index],
+            )
+        )
+    return plan
 
 
 def plan_simple(numbering: PathNumbering) -> InstrumentationPlan:

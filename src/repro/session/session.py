@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 from repro.cct.runtime import CCTRuntime
 from repro.instrument.cctinstr import ContextInstrumentation, instrument_context
 from repro.instrument.edgeinstr import EdgeInstrumentation, instrument_edges
+from repro.instrument.kflowinstr import instrument_kpaths
 from repro.instrument.pathinstr import FlowInstrumentation, instrument_paths
 from repro.instrument.tables import ProfilingRuntime
 from repro.ir.function import Program
@@ -174,15 +175,26 @@ class ProfileSession:
         path_runtime = None
         if spec.needs_paths:
             path_runtime = ProfilingRuntime(self.memory.profiling.base)
-            # Flow first so path commits precede CctExit (see cctinstr).
-            flow = instrument_paths(
-                target,
-                mode=spec.path_mode,
-                placement=spec.placement,
-                runtime=path_runtime,
-                functions=spec.functions,
-                per_context=spec.per_context,
-            )
+            if spec.mode == "kflow":
+                # k=1 delegates to the flow_hw pass wholesale, which is
+                # what makes k=1 kflow profiles byte-identical to it.
+                flow = instrument_kpaths(
+                    target,
+                    k=spec.k,
+                    placement=spec.placement,
+                    runtime=path_runtime,
+                    functions=spec.functions,
+                )
+            else:
+                # Flow first so path commits precede CctExit (see cctinstr).
+                flow = instrument_paths(
+                    target,
+                    mode=spec.path_mode,
+                    placement=spec.placement,
+                    runtime=path_runtime,
+                    functions=spec.functions,
+                    per_context=spec.per_context,
+                )
         if spec.needs_context:
             context = instrument_context(
                 target,

@@ -22,7 +22,9 @@ from typing import Optional, Sequence, Tuple
 from repro.machine.counters import Event
 
 #: The six profiling configurations of Table 1 (plus the qpt-style
-#: edge-profiling comparator and the §6.1 frequency-only baseline).
+#: edge-profiling comparator and the §6.1 frequency-only baseline),
+#: and the multi-iteration path mode (``kflow``: paths crossing up to
+#: ``k`` loop backedges, after D'Elia & Demetrescu).
 MODES = (
     "baseline",
     "flow_hw",
@@ -30,6 +32,7 @@ MODES = (
     "context_hw",
     "context_flow",
     "edge",
+    "kflow",
 )
 
 #: Counter-increment placement strategies ([BL94] vs naive).
@@ -49,6 +52,7 @@ LABELS = {
     "context_hw": "context+hw",
     "context_flow": "context+flow",
     "edge": "edge",
+    "kflow": "kflow+hw",
 }
 
 
@@ -84,7 +88,10 @@ class ProfileSpec:
     * ``functions`` — restrict instrumentation to these functions
       (``None`` instruments everything);
     * ``inputs`` — the input set: one integer-argument tuple per run
-      of ``main``.
+      of ``main``;
+    * ``k`` — iteration span for ``kflow`` mode (paths cross up to
+      ``k`` loop backedges; defaults to 1 there, must be ``None`` for
+      every other mode).
     """
 
     mode: str = "baseline"
@@ -96,6 +103,7 @@ class ProfileSpec:
     read_at_backedges: bool = False
     functions: Optional[Tuple[str, ...]] = None
     inputs: Tuple[Tuple[int, ...], ...] = ((),)
+    k: Optional[int] = None
 
     def __post_init__(self):
         if self.mode not in MODES:
@@ -121,6 +129,21 @@ class ProfileSpec:
         object.__setattr__(
             self, "inputs", tuple(tuple(args) for args in self.inputs)
         )
+        if self.mode == "kflow":
+            if self.k is None:
+                object.__setattr__(self, "k", 1)
+            if not isinstance(self.k, int) or isinstance(self.k, bool):
+                raise ProfileSpecError(
+                    f"k must be an integer >= 1 for kflow mode, got {self.k!r}"
+                )
+            if self.k < 1:
+                raise ProfileSpecError(
+                    f"k must be an integer >= 1 for kflow mode, got {self.k}"
+                )
+        elif self.k is not None:
+            raise ProfileSpecError(
+                f"k only applies to kflow mode, not {self.mode!r} (got k={self.k!r})"
+            )
 
     # -- derived structure -----------------------------------------------------
 
@@ -131,7 +154,7 @@ class ProfileSpec:
     @property
     def needs_paths(self) -> bool:
         """Does this mode carry Ball–Larus path instrumentation?"""
-        return self.mode in ("flow_hw", "flow_freq", "context_flow")
+        return self.mode in ("flow_hw", "flow_freq", "context_flow", "kflow")
 
     @property
     def needs_context(self) -> bool:
@@ -145,7 +168,7 @@ class ProfileSpec:
     @property
     def path_mode(self) -> str:
         """What the path probes record: HW metrics or frequency only."""
-        return "hw" if self.mode == "flow_hw" else "freq"
+        return "hw" if self.mode in ("flow_hw", "kflow") else "freq"
 
     @property
     def per_context(self) -> bool:
@@ -174,8 +197,12 @@ class ProfileSpec:
         ).hexdigest()
 
     def to_json(self) -> dict:
-        """A JSON-safe description; inverse of :meth:`from_json`."""
-        return {
+        """A JSON-safe description; inverse of :meth:`from_json`.
+
+        ``k`` is emitted only when set (kflow mode), so the digests and
+        manifests of the pre-kflow modes are byte-for-byte unchanged.
+        """
+        raw = {
             "mode": self.mode,
             "pic0_event": self.pic0_event.name,
             "pic1_event": self.pic1_event.name,
@@ -186,6 +213,9 @@ class ProfileSpec:
             "functions": None if self.functions is None else list(self.functions),
             "inputs": [list(args) for args in self.inputs],
         }
+        if self.k is not None:
+            raw["k"] = self.k
+        return raw
 
     @classmethod
     def from_json(cls, raw: dict) -> "ProfileSpec":

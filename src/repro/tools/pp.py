@@ -14,7 +14,9 @@ profiling configuration of Table 1 survives for convenience:
 * :meth:`PP.context_flow` — path frequencies per calling context
   ("Context and Flow");
 * :meth:`PP.flow_freq` — plain path profiling (the §6.1 baseline);
-* :meth:`PP.edge_profile` — the qpt-style edge-profiling comparator.
+* :meth:`PP.edge_profile` — the qpt-style edge-profiling comparator;
+* :meth:`PP.kflow` — hardware metrics along paths spanning up to k
+  loop iterations (multi-iteration Ball–Larus; k=1 equals flow_hw).
 
 Each is a one-liner: build a spec with :meth:`PP.spec`, run it with
 :meth:`PP.run`.  Drivers that want the pipeline directly (sharding,
@@ -152,3 +154,12 @@ class PP:
             program,
             args,
         )
+
+    def kflow(
+        self,
+        program: Program,
+        args: Sequence = (),
+        k: int = 1,
+        functions: Optional[Sequence[str]] = None,
+    ) -> ProfileRun:
+        return self.run(self.spec("kflow", functions=functions, k=k), program, args)

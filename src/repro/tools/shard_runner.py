@@ -73,7 +73,14 @@ from repro.tools.faults import FaultPlan
 from repro.tools.runlog import RunLog
 
 #: Profiling configurations the driver knows how to merge.
-MODES = ("context_flow", "context_hw", "flow_hw")
+MODES = ("context_flow", "context_hw", "flow_hw", "kflow")
+
+#: Modes whose shard aggregate is a *flat* path profile (pointwise
+#: count/metric sums keyed by path id, no CCT) — ``flow_hw`` and its
+#: multi-iteration generalization.  The merge algebra is identical:
+#: ``kflow`` only changes the numbering (and hence the table
+#: geometry), never the shape of the checkpoint payload.
+FLAT_FLOW_MODES = ("flow_hw", "kflow")
 
 MANIFEST_FORMAT = "repro-shard-manifest-v1"
 RESULT_FORMAT = "repro-shard-result-v1"
@@ -463,7 +470,7 @@ def _shard_worker_entry(task) -> None:
         returns.append((input_index, run.result.return_value))
         if run.cct is not None:
             ccts.append(run.cct)
-        if spec.mode == "flow_hw":
+        if spec.mode in FLAT_FLOW_MODES:
             for name, fpp in run.path_profile.functions.items():
                 flow_counts[name] = merge_counts(
                     [flow_counts.get(name, {}), fpp.counts]
@@ -492,9 +499,13 @@ def _shard_worker_entry(task) -> None:
         "returns": [[index, value] for index, value in returns],
         "cct": cct_name,
         "cct_digest": dump_digest,
-        "flow_counts": counts_to_json(flow_counts) if spec.mode == "flow_hw" else None,
+        "flow_counts": (
+            counts_to_json(flow_counts) if spec.mode in FLAT_FLOW_MODES else None
+        ),
         "flow_metrics": (
-            metric_maps_to_json(flow_metrics) if spec.mode == "flow_hw" else None
+            metric_maps_to_json(flow_metrics)
+            if spec.mode in FLAT_FLOW_MODES
+            else None
         ),
     }
     payload["digest"] = _payload_digest(payload)
@@ -660,7 +671,7 @@ def _merge_from_checkpoints(
             dump = os.path.join(workdir, payload["cct"])
             shard_files.append(dump)
             ccts.append(load_cct(dump))
-        if spec.mode == "flow_hw":
+        if spec.mode in FLAT_FLOW_MODES:
             flow_payloads.append(
                 (
                     counts_from_json(payload["flow_counts"] or {}),
@@ -668,7 +679,7 @@ def _merge_from_checkpoints(
                 )
             )
 
-    cct = merge_ccts(ccts) if spec.mode != "flow_hw" else None
+    cct = merge_ccts(ccts) if spec.mode not in FLAT_FLOW_MODES else None
     log.emit(
         "merge",
         shards_merged=shards,
@@ -677,7 +688,7 @@ def _merge_from_checkpoints(
     profile: Optional[PathProfile] = None
     if spec.mode == "context_flow":
         profile = collect_path_profile(flow_template(spec), cct_runtime=cct)
-    elif spec.mode == "flow_hw":
+    elif spec.mode in FLAT_FLOW_MODES:
         template = flow_template(spec)
         profile = PathProfile()
         for name, info in template.functions.items():
@@ -847,14 +858,14 @@ def serial_run(spec: ShardSpec) -> ShardOutcome:
         returns.append(run.result.return_value)
         if run.cct is not None:
             ccts.append(run.cct)
-        if spec.mode == "flow_hw":
+        if spec.mode in FLAT_FLOW_MODES:
             profiles.append(run.path_profile)
 
-    cct = merge_ccts(ccts) if spec.mode != "flow_hw" else None
+    cct = merge_ccts(ccts) if spec.mode not in FLAT_FLOW_MODES else None
     profile: Optional[PathProfile] = None
     if spec.mode == "context_flow":
         profile = collect_path_profile(flow_template(spec), cct_runtime=cct)
-    elif spec.mode == "flow_hw":
+    elif spec.mode in FLAT_FLOW_MODES:
         template = flow_template(spec)
         profile = PathProfile()
         for name, info in template.functions.items():
@@ -894,6 +905,7 @@ def spec_for_workload(
 
 
 __all__ = [
+    "FLAT_FLOW_MODES",
     "LOG_NAME",
     "MANIFEST_NAME",
     "MODES",

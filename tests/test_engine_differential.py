@@ -99,6 +99,24 @@ def test_engines_agree(name):
 
 
 @pytest.mark.parametrize("name", SPEC95)
+def test_engines_agree_kflow(name):
+    """Multi-iteration path profiling across every tier and span: the
+    k-iteration probes (packed path+layer register, cycle commits at
+    back-edges, layer-indexed exit commits) must survive fusion into
+    the fast engine's segments and the trace tier's deopt protocol
+    with bit-identical counters and k-path tables."""
+    program = build_workload(name, SCALE)
+    simple = PP(engine="simple")
+    for k in (1, 2, 4):
+        reference = simple.kflow(program, k=k)
+        for engine in TIERS:
+            tier = PP(engine=engine)
+            _assert_identical(
+                name, f"kflow[k={k}]/{engine}", reference, tier.kflow(program, k=k)
+            )
+
+
+@pytest.mark.parametrize("name", SPEC95)
 def test_engines_agree_under_sharding(name):
     """The sharded driver is engine-transparent: splitting two runs of
     a workload across two shards yields identical merged CCTs and

@@ -130,6 +130,37 @@ def test_fuzz_engines_agree_combined(program):
     _check_all_tiers("context_flow", "context_flow", program)
 
 
+#: Iteration spans the multi-iteration path mode is fuzzed at.  k=1 is
+#: the flow_hw-equivalent degenerate case; 2 and 4 force the packed
+#: register through cross-layer bumps and cycle commits.
+KFLOW_SPANS = (1, 2, 4)
+
+
+@FUZZ_SETTINGS
+@given(program=ir_programs())
+def test_fuzz_engines_agree_kflow(program):
+    """Multi-iteration path probes (KPathAdd/KHwcCycle/KHwcExit) fuse
+    into the compiled tiers bit-identically for every iteration span:
+    same counters, same k-path counts, same per-path metric vectors."""
+    for k in KFLOW_SPANS:
+        simple = PP(engine="simple").kflow(program, k=k)
+        for engine in TIERS:
+            tier = PP(engine=engine).kflow(program, k=k)
+            _assert_engines_identical(f"kflow[k={k}]/{engine}", simple, tier)
+
+
+@FUZZ_SETTINGS
+@given(program=ir_hot_programs())
+def test_fuzz_trace_agrees_on_hot_kflow_loops(program):
+    """Hot loops under k=2: compiled superblocks carry the packed
+    path+layer register across many back-edges — every cycle commit
+    and the deopt handoff must preserve it exactly."""
+    simple = PP(engine="simple").kflow(program, k=2)
+    for engine in TIERS:
+        tier = PP(engine=engine).kflow(program, k=2)
+        _assert_engines_identical(f"hot/kflow[k=2]/{engine}", simple, tier)
+
+
 @FUZZ_SETTINGS
 @given(program=ir_hot_programs())
 def test_fuzz_trace_agrees_on_hot_loops(program):

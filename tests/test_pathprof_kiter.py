@@ -1,0 +1,295 @@
+"""Multi-iteration Ball–Larus numbering: the k-iteration product graph.
+
+Three layers of properties, mirroring ``test_pathprof_numbering.py``:
+
+* **Numbering** — over random CFGs and k ∈ {1, 2, 3}: k-path sums are
+  dense and unique in ``[0, num_paths)``, decode∘encode is the
+  identity, and k=1 is *index-identical* to the classic transform
+  (same ``val`` array, same path count — the structural fact that
+  makes k=1 kflow profiles byte-identical to flow_hw).
+* **Placement** — ``plan_kflow``'s packed-register simulation
+  (``check_path_sums``) reproduces every decoded path sum exactly.
+* **Profiles** — end-to-end over the corpus and generated IR
+  programs: a k=1 kflow run equals a flow_hw run fact for fact; and
+  any k-path profile *projects* (splitting each k-path at its
+  back-edge crossings) onto exactly the 1-path profile an independent
+  k=1 run measures — the reconstruction law that makes the mode's
+  extra precision free of information loss.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cfg.graph import build_cfg
+from repro.ir.asm import parse_program
+from repro.machine.counters import Event
+from repro.pathprof import (
+    build_ktransformed,
+    number_kpaths,
+    number_paths,
+    plan_kflow,
+    project_kpath_counts,
+    split_kpath,
+)
+from repro.tools.pp import PP
+
+from tests.conftest import CORPUS, compile_corpus
+from tests.ir_strategies import ir_programs
+from tests.test_pathprof_numbering import FIG1, random_cfgs
+
+PROPERTY_SETTINGS = settings(max_examples=80, deadline=None)
+
+PROFILE_SETTINGS = settings(
+    max_examples=10,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+LOOP = """
+func main(1) regs=8 {
+entry:
+    const r1, 0
+    br head
+head:
+    lt r2, r1, r0
+    cbr r2, body, out
+body:
+    add r1, r1, 1
+    br head
+out:
+    ret r1
+}
+"""
+
+
+def _cfg(asm: str, name: str = "main"):
+    return build_cfg(parse_program(asm).functions[name])
+
+
+class TestK1IsTheClassicNumbering:
+    """k=1 must be the Ball–Larus numbering, index for index."""
+
+    def test_fig1_val_and_count_identical(self):
+        cfg = _cfg(FIG1)
+        base = number_paths(cfg)
+        kone = number_kpaths(cfg, 1)
+        assert kone.num_paths == base.num_paths == 6
+        assert kone.val == base.val
+
+    @given(random_cfgs())
+    @PROPERTY_SETTINGS
+    def test_property_val_and_count_identical(self, cfg):
+        base = number_paths(cfg)
+        kone = number_kpaths(cfg, 1)
+        assert kone.num_paths == base.num_paths
+        assert kone.val == base.val
+
+    def test_acyclic_graphs_ignore_k(self):
+        # No back-edges: every layer beyond 0 is unreachable, so the
+        # numbering (and table geometry) is k-independent.
+        base = number_paths(_cfg(FIG1))
+        for k in (2, 3, 5):
+            assert number_kpaths(_cfg(FIG1), k).num_paths == base.num_paths
+
+    def test_loops_grow_the_geometry(self):
+        counts = [number_kpaths(_cfg(LOOP), k).num_paths for k in (1, 2, 3, 4)]
+        assert counts == sorted(counts)
+        assert counts[0] < counts[-1]
+
+
+class TestKNumberingProperties:
+    @given(cfg=random_cfgs(), k=st.integers(min_value=1, max_value=3))
+    @PROPERTY_SETTINGS
+    def test_property_sums_dense_unique_and_decodable(self, cfg, k):
+        """Dense ids in [0, num_paths); decode∘encode == id; decoded
+        t-edge sequences are pairwise distinct."""
+        numbering = number_kpaths(cfg, k)
+        total = numbering.num_paths
+        assert total >= 1
+        seen = set()
+        for path_sum in range(min(total, 2000)):
+            path = numbering.regenerate(path_sum)
+            assert numbering.path_sum(path.tedges) == path_sum
+            key = tuple(
+                (e.src, e.dst, e.role, e.origin.index) for e in path.tedges
+            )
+            assert key not in seen
+            seen.add(key)
+
+    @given(cfg=random_cfgs(), k=st.integers(min_value=1, max_value=3))
+    @PROPERTY_SETTINGS
+    def test_property_np_consistency(self, cfg, k):
+        """NP(v) sums successors' NP in the layered product graph."""
+        numbering = number_kpaths(cfg, k)
+        graph = numbering.graph
+        for vertex, np_value in numbering.np.items():
+            if vertex == graph.exit:
+                assert np_value == 1
+                continue
+            assert np_value == sum(
+                numbering.np[e.dst] for e in graph.succ[vertex]
+            )
+
+    @given(cfg=random_cfgs(), k=st.integers(min_value=1, max_value=3))
+    @PROPERTY_SETTINGS
+    def test_property_product_graph_is_acyclic(self, cfg, k):
+        graph = build_ktransformed(cfg, k)
+        reachable = set()
+        stack = [graph.entry]
+        while stack:
+            vertex = stack.pop()
+            if vertex in reachable:
+                continue
+            reachable.add(vertex)
+            stack.extend(e.dst for e in graph.succ[vertex])
+        indegree = {v: 0 for v in reachable}
+        for edge in graph.edges:
+            if edge.src in reachable and edge.dst in reachable:
+                indegree[edge.dst] += 1
+        queue = [v for v in reachable if indegree[v] == 0]
+        visited = 0
+        while queue:
+            vertex = queue.pop()
+            visited += 1
+            for edge in graph.succ[vertex]:
+                if edge.dst in reachable:
+                    indegree[edge.dst] -= 1
+                    if indegree[edge.dst] == 0:
+                        queue.append(edge.dst)
+        assert visited == len(reachable)
+
+    @given(cfg=random_cfgs(), k=st.integers(min_value=1, max_value=3))
+    @PROPERTY_SETTINGS
+    def test_property_split_yields_valid_base_paths(self, cfg, k):
+        """Every k-path splits into 1..k base paths with in-range sums."""
+        knum = number_kpaths(cfg, k)
+        base = number_paths(cfg)
+        for path_sum in range(min(knum.num_paths, 500)):
+            pieces = split_kpath(knum, base, path_sum)
+            assert 1 <= len(pieces) <= k
+            for piece in pieces:
+                assert 0 <= piece < base.num_paths
+
+    @pytest.mark.parametrize("bad_k", [0, -1, 1.5, True])
+    def test_invalid_k_rejected(self, bad_k):
+        with pytest.raises(ValueError, match="k"):
+            number_kpaths(_cfg(LOOP), bad_k)
+
+
+class TestPlacementPlan:
+    @given(cfg=random_cfgs(), k=st.integers(min_value=1, max_value=3))
+    @PROPERTY_SETTINGS
+    def test_property_packed_register_reproduces_every_sum(self, cfg, k):
+        """Simulating the packed ``path_sum * k + layer`` register over
+        each decoded path's real edges lands on that path's id."""
+        plan = plan_kflow(number_kpaths(cfg, k))
+        plan.check_path_sums(limit=2000)
+
+    def test_instrumenter_rejects_invalid_k(self):
+        from repro.instrument.kflowinstr import instrument_kpaths
+
+        with pytest.raises(ValueError, match="k"):
+            instrument_kpaths(parse_program(FIG1), k=0)
+
+
+def _run_facts(run):
+    return (
+        dict(run.result.counters),
+        run.result.return_value,
+        {
+            name: (dict(fpp.counts), {k: list(v) for k, v in fpp.metrics.items()})
+            for name, fpp in run.path_profile.functions.items()
+        },
+    )
+
+
+def _project_all(krun, one_run, program):
+    """Assert the projection law function by function."""
+    for name, fpp in krun.path_profile.functions.items():
+        base = number_paths(build_cfg(program.functions[name]))
+        projected = project_kpath_counts(fpp.numbering, base, fpp.counts)
+        measured = {
+            p: c
+            for p, c in one_run.path_profile.functions[name].counts.items()
+            if c
+        }
+        assert projected == measured, name
+
+
+class TestProfileEquivalence:
+    """The headline laws, measured end to end through the pipeline."""
+
+    def test_k1_equals_flow_hw_on_corpus(self, corpus_name):
+        program = compile_corpus(corpus_name)
+        pp = PP()
+        assert _run_facts(pp.kflow(program, k=1)) == _run_facts(
+            pp.flow_hw(program)
+        ), corpus_name
+
+    def test_k1_counts_equal_flow_freq_on_corpus(self, corpus_name):
+        # flow_freq carries no HW metrics, but its path *frequencies*
+        # must agree with the k=1 kflow table entry for entry.
+        program = compile_corpus(corpus_name)
+        pp = PP()
+        kone = pp.kflow(program, k=1)
+        freq = pp.flow_freq(program)
+        assert {
+            name: dict(fpp.counts)
+            for name, fpp in kone.path_profile.functions.items()
+        } == {
+            name: dict(fpp.counts)
+            for name, fpp in freq.path_profile.functions.items()
+        }
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_kpath_profile_projects_onto_measured_k1_on_corpus(
+        self, corpus_name, k
+    ):
+        """Prefix-splitting every counted k-path at its back-edge
+        crossings reproduces an independently measured k=1 profile
+        exactly — frequencies only, since probe overhead (not program
+        behaviour) differs between the two instrumentations."""
+        program = compile_corpus(corpus_name)
+        pp = PP()
+        _project_all(pp.kflow(program, k=k), pp.kflow(program, k=1), program)
+
+    @PROFILE_SETTINGS
+    @given(program=ir_programs())
+    def test_fuzz_k1_equals_flow_hw(self, program):
+        pp = PP()
+        assert _run_facts(pp.kflow(program, k=1)) == _run_facts(
+            pp.flow_hw(program)
+        )
+
+    @PROFILE_SETTINGS
+    @given(program=ir_programs(), k=st.sampled_from([2, 3, 4]))
+    def test_fuzz_kpath_profile_projects_onto_measured_k1(self, program, k):
+        pp = PP()
+        _project_all(pp.kflow(program, k=k), pp.kflow(program, k=1), program)
+
+    def test_total_frequency_is_k_invariant(self):
+        """Summed path frequency = number of committed path segments
+        shrinks as k grows (longer paths, fewer commits), but the
+        *projected* total matches the k=1 total exactly."""
+        program = compile_corpus("nested_loops")
+        pp = PP()
+        one = pp.kflow(program, k=1)
+        for k in (2, 4):
+            krun = pp.kflow(program, k=k)
+            for name, fpp in krun.path_profile.functions.items():
+                base = number_paths(build_cfg(program.functions[name]))
+                projected = project_kpath_counts(fpp.numbering, base, fpp.counts)
+                assert sum(projected.values()) == sum(
+                    one.path_profile.functions[name].counts.values()
+                )
+
+    def test_corpus_k_runs_preserve_semantics(self, corpus_name):
+        """Instrumentation at any k never perturbs program results."""
+        program = compile_corpus(corpus_name)
+        pp = PP()
+        expected = pp.baseline(program).return_value
+        for k in (1, 2, 4):
+            run = pp.kflow(program, k=k)
+            assert run.return_value == expected
+            assert run.result.counters[Event.CYCLES] > 0

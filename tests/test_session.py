@@ -49,6 +49,7 @@ LEGACY_METHODS = {
     "context_hw": lambda pp, program: pp.context_hw(program),
     "context_flow": lambda pp, program: pp.context_flow(program),
     "edge": lambda pp, program: pp.edge_profile(program),
+    "kflow": lambda pp, program: pp.kflow(program),
 }
 
 
@@ -191,6 +192,47 @@ class TestSpecValidation:
         # Callers that caught ValueError before the typed error keep
         # working.
         assert issubclass(ProfileSpecError, ValueError)
+
+    def test_kflow_k_defaults_to_one(self):
+        spec = ProfileSpec(mode="kflow")
+        assert spec.k == 1
+        assert spec == ProfileSpec(mode="kflow", k=1)
+
+    @pytest.mark.parametrize("bad_k", [0, -1, -7])
+    def test_kflow_k_below_one_rejected_naming_the_field(self, bad_k):
+        with pytest.raises(ProfileSpecError, match="k must be an integer >= 1"):
+            ProfileSpec(mode="kflow", k=bad_k)
+
+    @pytest.mark.parametrize("bad_k", [1.5, "2", True, (2,)])
+    def test_kflow_k_non_integer_rejected_naming_the_field(self, bad_k):
+        with pytest.raises(ProfileSpecError, match="k must be an integer >= 1"):
+            ProfileSpec(mode="kflow", k=bad_k)
+
+    @pytest.mark.parametrize(
+        "mode", [m for m in MODES if m != "kflow"]
+    )
+    def test_k_on_non_kflow_mode_rejected_naming_the_field(self, mode):
+        with pytest.raises(ProfileSpecError, match="k only applies to kflow"):
+            ProfileSpec(mode=mode, k=2)
+
+    def test_k_absent_from_non_kflow_json_and_digests(self):
+        # Pre-kflow manifests and store digests must be byte-for-byte
+        # unchanged: ``k`` is emitted only when set.
+        raw = ProfileSpec(mode="flow_hw").to_json()
+        assert "k" not in raw
+        assert ProfileSpec.from_json(raw) == ProfileSpec(mode="flow_hw")
+
+    def test_kflow_spec_json_round_trips_with_k(self):
+        spec = ProfileSpec(mode="kflow", k=4)
+        raw = json.loads(json.dumps(spec.to_json()))
+        assert raw["k"] == 4
+        revived = ProfileSpec.from_json(raw)
+        assert revived == spec
+        assert revived.digest() == spec.digest()
+
+    def test_kflow_digest_distinguishes_k(self):
+        digests = {ProfileSpec(mode="kflow", k=k).digest() for k in (1, 2, 4)}
+        assert len(digests) == 3
 
 
 class TestPhaseEvents:

@@ -89,6 +89,47 @@ class TestShardEqualsSerial:
             assert outcome.counters[event] == reference.counters[event], event.name
         assert strict_form(outcome.cct) == strict_form(reference.cct)
 
+    @pytest.mark.parametrize("shards", [2, 4])
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_kflow_mode(self, shards, k):
+        """Multi-iteration path profiles merge exactly like flow_hw:
+        pointwise sums over k-path ids, byte-identical to serial."""
+        from repro.session import ProfileSpec
+
+        spec = ShardSpec(
+            source=SOURCE,
+            profile=ProfileSpec(mode="kflow", k=k, inputs=INPUTS),
+        )
+        reference = serial_run(spec)
+        outcome = shard_run(spec, shards, jobs=1)
+        assert outcome.cct is None
+        assert outcome.return_values == reference.return_values
+        assert outcome.counters == reference.counters
+        assert _profile_facts(outcome.path_profile) == _profile_facts(
+            reference.path_profile
+        )
+
+    def test_kflow_k1_merge_matches_flow_hw(self):
+        """The k=1 degenerate case is flow_hw under another name, all
+        the way through the sharded merge."""
+        from repro.session import ProfileSpec
+
+        kflow = shard_run(
+            ShardSpec(
+                source=SOURCE,
+                profile=ProfileSpec(mode="kflow", k=1, inputs=INPUTS),
+            ),
+            2,
+            jobs=1,
+        )
+        flow = shard_run(
+            ShardSpec(source=SOURCE, inputs=INPUTS, mode="flow_hw"), 2, jobs=1
+        )
+        assert _profile_facts(kflow.path_profile) == _profile_facts(
+            flow.path_profile
+        )
+        assert kflow.counters == flow.counters
+
     def test_forked_workers_match(self, tmp_path):
         """The real multiprocess path (fork + dump + reload)."""
         spec = ShardSpec(source=SOURCE, inputs=INPUTS, mode="context_flow")
@@ -182,6 +223,32 @@ class TestManifestAndResume:
         assert raw["profile"]["inputs"] == [list(args) for args in INPUTS]
         for legacy_key in ("mode", "placement", "by_site", "inputs", "engine"):
             assert legacy_key not in raw
+
+    def test_kflow_spec_json_round_trip_keeps_k(self):
+        from repro.session import ProfileSpec
+
+        spec = ShardSpec(
+            source=SOURCE,
+            profile=ProfileSpec(mode="kflow", k=3, inputs=INPUTS),
+        )
+        raw = spec_to_json(spec)
+        assert raw["profile"]["mode"] == "kflow"
+        assert raw["profile"]["k"] == 3
+        revived = spec_from_json(raw)
+        assert revived == spec
+        assert revived.profile.k == 3
+        assert revived.profile.digest() == spec.profile.digest()
+
+    def test_legacy_manifest_without_k_still_loads(self):
+        # Manifests written before the ``k`` field existed carry no
+        # such key; they must load with identical semantics (and, for
+        # non-kflow modes, identical spec digests).
+        spec = ShardSpec(source=SOURCE, inputs=INPUTS, mode="flow_hw")
+        raw = spec_to_json(spec)
+        assert "k" not in raw["profile"]
+        revived = spec_from_json(raw)
+        assert revived == spec
+        assert revived.profile.digest() == spec.profile.digest()
 
     def test_legacy_manifest_spec_still_loads(self):
         # Manifests written before the embedded ProfileSpec carried the

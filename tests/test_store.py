@@ -250,6 +250,38 @@ class TestSessionSink:
         ]
         assert phases == ["clone", "instrument", "decode", "run", "collect", "store"]
 
+    def test_kflow_run_round_trips_with_stable_spec_digest(self, tmp_path):
+        """A persisted kflow run reloads bit-identically, keyed under a
+        spec digest that is deterministic and distinct per k."""
+        from repro.lang import compile_source
+        from repro.session import ProfileSession, ProfileSpec
+
+        store = ProfileStore(str(tmp_path))
+        program = compile_source(self.SOURCE)
+        spec = ProfileSpec(mode="kflow", k=2)
+        run = ProfileSession().run(
+            spec, program, store=store, workload="unit"
+        )
+        loaded = store.load(run.stored_as)
+        assert loaded.spec == spec
+        assert loaded.spec_digest == spec.digest()
+        assert loaded.counters == dict(run.result.counters)
+        assert set(loaded.paths) == set(run.path_profile.functions)
+        for name, stored in loaded.paths.items():
+            fpp = run.path_profile.functions[name]
+            assert stored.counts == dict(fpp.counts)
+            assert stored.metrics == {
+                k: list(v) for k, v in fpp.metrics.items()
+            }
+        # The digest is reproducible across processes (pure data) and
+        # splits the store's compatibility key by k.
+        assert ProfileSpec(mode="kflow", k=2).digest() == spec.digest()
+        assert ProfileSpec(mode="kflow", k=3).digest() != spec.digest()
+        rerun = ProfileSession().run(
+            spec, program, store=store, workload="unit"
+        )
+        assert rerun.stored_as == run.stored_as  # content-addressed
+
     def test_identical_session_runs_share_one_run_id(self, tmp_path):
         from repro.lang import compile_source
         from repro.session import ProfileSession, ProfileSpec
