@@ -94,7 +94,12 @@ _PROFILE_MODES = {
 
 
 def _make_session(args):
-    """One ``ProfileSession`` per command; ``--log`` adds phase events."""
+    """One ``ProfileSession`` per command; ``--log`` adds phase events.
+
+    ``--icache-size`` / ``--icache-assoc`` (the optimize verb) shrink
+    the modelled I-cache so layout effects are measurable on programs
+    the default 16KB cache would swallow whole.
+    """
     from repro.session import ProfileSession
 
     log = None
@@ -102,7 +107,18 @@ def _make_session(args):
         from repro.tools.runlog import RunLog
 
         log = RunLog(args.log, command=args.command)
-    return ProfileSession(log=log)
+    config = None
+    if getattr(args, "icache_size", None) or getattr(args, "icache_assoc", None):
+        from dataclasses import replace as _replace
+
+        from repro.machine.config import MachineConfig
+
+        config = MachineConfig()
+        if args.icache_size:
+            config = _replace(config, icache_size=args.icache_size)
+        if args.icache_assoc:
+            config = _replace(config, icache_assoc=args.icache_assoc)
+    return ProfileSession(config=config, log=log)
 
 
 def _build_spec(mode, args):
@@ -459,46 +475,151 @@ def cmd_ci(args) -> int:
     return 0
 
 
+def _optimize_plan(args):
+    """An ``OptPlan`` from CLI flags (absent flags keep plan defaults)."""
+    from repro.opt import OptPlan
+
+    kwargs = {}
+    if getattr(args, "passes", None):
+        kwargs["passes"] = tuple(
+            name.strip() for name in args.passes.split(",") if name.strip()
+        )
+    for flag, key in (
+        ("min_freq", "min_freq"),
+        ("min_calls", "min_calls"),
+        ("max_callee_size", "max_callee_size"),
+        ("growth_budget", "growth_budget"),
+    ):
+        value = getattr(args, flag, None)
+        if value is not None:
+            kwargs[key] = value
+    return OptPlan(**kwargs)
+
+
+def _print_pgo_report(report) -> None:
+    """Human-readable PGO cycle summary."""
+    from repro.machine.counters import Event
+
+    for result in report.pipeline.passes:
+        details = result.details
+        if result.name == "inline":
+            for entry in details.get("inlined", ()):
+                print(
+                    f"inlined {entry['callee']} into {entry['caller']} "
+                    f"(site {entry['site']}, {entry['calls']} calls, "
+                    f"+{entry['code_growth']} code)"
+                )
+        elif result.name == "superblock":
+            for entry in details.get("superblocks", ()):
+                print(
+                    f"superblock in {entry['function']}: trace "
+                    f"{entry['trace']} (freq {entry['freq']}), "
+                    f"{entry['jumps_straightened']} jumps straightened, "
+                    f"+{entry['code_growth']} code"
+                )
+        elif result.name == "layout" and result.changed:
+            print(f"layout: reordered {len(details.get('reordered', ()))} functions")
+        elif result.name == "cleanup" and result.changed:
+            print(f"cleanup: {details.get('changes', 0)} changes")
+
+    base = report.baseline_counters
+    cand = report.optimized_counters
+    judged = {f.subject: f.verdict.value for f in report.counters_report.findings}
+    for event in Event:
+        before, after = base.get(event, 0), cand.get(event, 0)
+        if not before and not after:
+            continue
+        marker = judged.get(event.name, "")
+        print(
+            f"  {event.name:12} {before:>12} -> {after:>12}"
+            + (f"  [{marker}]" if marker else "")
+        )
+    cycles_b = base.get(Event.CYCLES, 0)
+    cycles_a = cand.get(Event.CYCLES, 0)
+    speedup = cycles_b / cycles_a if cycles_a else 0.0
+    print(
+        f"cycles: {cycles_b} -> {cycles_a} ({speedup:.3f}x), "
+        f"instructions: {base.get(Event.INSTRS, 0)} -> "
+        f"{cand.get(Event.INSTRS, 0)}"
+    )
+    match = "ok" if report.architectural_match else "MISMATCH"
+    print(f"architectural results: {match}")
+    print(f"verdict: {report.verdict.value}")
+
+
 def cmd_optimize(args) -> int:
-    """Profile, apply path-guided optimizations, and re-measure."""
-    from repro.opt.cleanup import cleanup_program
-    from repro.opt.layout import profile_guided_layout
-    from repro.opt.superblock import form_superblock
-    from repro.tools.pp import PP, clone_program
+    """The closed PGO loop: profile -> optimize -> re-measure -> verify.
+
+    The driving profile is measured live (``--mode``, default
+    ``combined``) or decoded from a stored run (``--store DIR --run
+    REF``).  Exit codes mirror ``repro diff``: 0 for ok/optimization,
+    1 for a degradation verdict (including an architectural mismatch),
+    2 for usage or store errors.
+    """
+    from repro.opt import MeasuredProfileError, OptError
+    from repro.session import PGOError, pgo_cycle
+    from repro.store import StoreError, Verdict
 
     program = _load_program(args.file)
-    pp = PP()
     run_args = _int_args(args.args)
-    baseline = pp.baseline(program, run_args)
-    profiled = pp.flow_freq(program, run_args)
+    session = _make_session(args)
 
-    optimized = clone_program(program)
-    results = []
-    for name, function in optimized.functions.items():
-        fpp = profiled.path_profile.functions.get(name)
-        if fpp is None:
-            continue
-        outcome = form_superblock(function, fpp)
-        if outcome is not None:
-            results.append(outcome)
-    cleanup_program(optimized)
-    profile_guided_layout(optimized, profiled.path_profile)
+    try:
+        plan = _optimize_plan(args)
+    except OptError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
-    after = pp.baseline(optimized, run_args)
-    assert after.return_value == baseline.return_value
-    for outcome in results:
-        print(
-            f"superblock in {outcome.function}: trace {outcome.trace} "
-            f"(freq {outcome.trace_freq}), {outcome.jumps_straightened} "
-            f"jumps straightened, +{outcome.code_growth} code"
-        )
-    speedup = baseline.cycles / after.cycles if after.cycles else 0.0
-    print(
-        f"cycles: {baseline.cycles} -> {after.cycles} "
-        f"({speedup:.3f}x), instructions: "
-        f"{baseline.result.instructions} -> {after.result.instructions}"
-    )
-    return 0
+    store = None
+    if args.store:
+        from repro.store import ProfileStore
+
+        store = ProfileStore(args.store)
+    if args.run and store is None:
+        print("error: --run REF requires --store DIR", file=sys.stderr)
+        return 2
+
+    thresholds = _store_thresholds(args)
+    try:
+        if args.run:
+            report = pgo_cycle(
+                program,
+                args=run_args or None,
+                session=session,
+                store=store,
+                run_ref=args.run,
+                plan=plan,
+                thresholds=thresholds,
+                workload=args.workload,
+                save=store is not None,
+            )
+        else:
+            spec = _build_spec(_PROFILE_MODES[args.mode], args)
+            if run_args:
+                spec = spec.with_inputs([run_args])
+            report = pgo_cycle(
+                program,
+                spec,
+                run_args or None,
+                session=session,
+                store=store,
+                plan=plan,
+                thresholds=thresholds,
+                workload=args.workload,
+                save=store is not None,
+            )
+    except (PGOError, MeasuredProfileError, OptError, StoreError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(report.to_json_str() + "\n")
+    if args.json:
+        print(report.to_json_str())
+    else:
+        _print_pgo_report(report)
+    return 1 if report.verdict is Verdict.DEGRADATION else 0
 
 
 _SHARD_MODES = {
@@ -820,8 +941,78 @@ def build_parser() -> argparse.ArgumentParser:
     )
     combined.add_argument("--save", help="write the CCT to this file")
     add_program_command("coverage", cmd_coverage, "path coverage report")
-    add_program_command(
-        "optimize", cmd_optimize, "apply path-guided optimizations"
+    optimize = add_program_command(
+        "optimize", cmd_optimize, "closed PGO loop: profile, optimize, re-measure"
+    )
+    optimize.add_argument(
+        "--mode",
+        choices=sorted(m for m in _PROFILE_MODES if m != "baseline"),
+        default="combined",
+        help="live profiling configuration driving the passes",
+    )
+    optimize.add_argument(
+        "--k",
+        type=int,
+        default=1,
+        help="kflow mode only: paths span up to k loop iterations",
+    )
+    optimize.add_argument("--engine", help="execution engine override")
+    optimize.add_argument(
+        "--run",
+        help="drive the passes from this stored run ref instead of a "
+        "live profile (requires --store)",
+    )
+    optimize.add_argument(
+        "--passes",
+        help="comma-separated pass list (default: inline,superblock,layout,cleanup)",
+    )
+    optimize.add_argument(
+        "--min-freq",
+        type=int,
+        default=None,
+        help="minimum measured frequency for a superblock trace",
+    )
+    optimize.add_argument(
+        "--min-calls",
+        type=int,
+        default=None,
+        help="minimum measured invocation count for an inlined edge",
+    )
+    optimize.add_argument(
+        "--max-callee-size",
+        type=int,
+        default=None,
+        help="largest callee the inliner will duplicate",
+    )
+    optimize.add_argument(
+        "--growth-budget",
+        type=float,
+        default=None,
+        help="fraction of original size each duplicating pass may add",
+    )
+    optimize.add_argument(
+        "--report", help="write the repro-pgo-report-v1 JSON here"
+    )
+    optimize.add_argument(
+        "--workload",
+        help="workload id the verification runs are keyed under",
+    )
+    optimize.add_argument(
+        "--log",
+        help="append structured JSONL phase events here",
+    )
+    optimize.add_argument(
+        "--icache-size",
+        type=int,
+        default=None,
+        help="modelled I-cache size in bytes (default 16384); shrink it "
+        "to make layout effects measurable on small programs",
+    )
+    optimize.add_argument(
+        "--icache-assoc",
+        type=int,
+        default=None,
+        help="modelled I-cache associativity (default 2)",
     )
 
     shard = sub.add_parser(
@@ -898,6 +1089,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--top-k", type=int, default=10, help="hot-path set size for churn"
         )
+
+    add_store_flags(optimize)
 
     diff = sub.add_parser(
         "diff",

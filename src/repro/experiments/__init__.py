@@ -11,6 +11,7 @@ from repro.experiments.table2 import perturbation_experiment
 from repro.experiments.table3 import cct_stats_experiment
 from repro.experiments.table4 import hot_path_experiment
 from repro.experiments.table5 import hot_procedure_experiment
+from repro.experiments.pgo import pgo_loop_experiment
 from repro.experiments.figures import figure1_report, figure4_report
 from repro.experiments.components import overhead_components_experiment
 
@@ -23,4 +24,5 @@ __all__ = [
     "overhead_components_experiment",
     "overhead_experiment",
     "perturbation_experiment",
+    "pgo_loop_experiment",
 ]

@@ -1,0 +1,101 @@
+"""Closing the loop: measured-profile-driven optimization, verified.
+
+The paper's closing argument is that flow- and context-sensitive
+profiles exist so a compiler can act on them.  This experiment acts:
+each workload is profiled (``context_flow`` — path tables *and* a
+CCT, so every pipeline pass has data), optimized by the
+:mod:`repro.opt.pipeline` passes, and re-measured uninstrumented
+against the unmodified program on the same machine
+(:func:`repro.session.pgo.pgo_cycle`).
+
+The row reports the measured counter deltas and the verdict the
+store's threshold algebra assigns them.  The machine is configured
+with a small direct-mapped I-cache: the pipeline's wins are locality
+wins (inlining makes hot call chains contiguous; layout packs hot
+paths), and a 16KB cache swallows a synthetic workload whole — the
+same reason the paper evaluates on real SPEC95 binaries rather than
+toys.  Architectural results are compared on every run; a mismatch
+is a red ``degradation`` row regardless of the counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.machine.config import MachineConfig
+from repro.machine.counters import Event
+from repro.opt import OptPlan
+from repro.session import ProfileSession, ProfileSpec
+from repro.session.pgo import pgo_cycle
+from repro.tools.bench_runner import run_tasks
+from repro.workloads.suite import SPEC95, build_workload
+
+#: The loop-heavy subset where hot-path locality dominates; the
+#: default workload set for the closing-the-loop writeup.
+LOOP_WORKLOADS = ("132.ijpeg", "101.tomcatv", "102.swim", "103.su2cor")
+
+
+def constrained_config() -> MachineConfig:
+    """The I-cache-pressured machine the experiment measures on."""
+    return MachineConfig(icache_size=512, icache_assoc=1)
+
+
+def _delta(base: int, cand: int) -> str:
+    if not base:
+        return "n/a"
+    return f"{(cand - base) / base * 100:+.1f}%"
+
+
+def _workload_row(task) -> Dict[str, object]:
+    name, scale, plan, config = task
+    program = build_workload(name, scale)
+    session = ProfileSession(config=config)
+    spec = ProfileSpec(mode="context_flow")
+    report = pgo_cycle(
+        program, spec, session=session, plan=plan, workload=name
+    )
+    base = report.baseline_counters
+    cand = report.optimized_counters
+    row: Dict[str, object] = {
+        "Benchmark": name,
+        "Verdict": report.verdict.value,
+        "Match": "yes" if report.architectural_match else "NO",
+    }
+    for event, label in (
+        (Event.INSTRS, "Instrs"),
+        (Event.CYCLES, "Cycles"),
+        (Event.IC_MISS, "IC miss"),
+        (Event.BR_MISPRED, "Mispred"),
+    ):
+        row[label] = _delta(base.get(event, 0), cand.get(event, 0))
+    row["Passes"] = ",".join(
+        p.name for p in report.pipeline.passes if p.changed
+    )
+    return row
+
+
+def pgo_loop_experiment(
+    names: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    plan: Optional[OptPlan] = None,
+    config: Optional[MachineConfig] = None,
+    jobs: Optional[int] = None,
+) -> List[Dict[str, object]]:
+    """One PGO cycle per workload; returns report rows.
+
+    ``names`` defaults to :data:`LOOP_WORKLOADS`; pass ``list(SPEC95)``
+    for the whole suite.  ``config`` defaults to
+    :func:`constrained_config`.
+    """
+    plan = plan or OptPlan()
+    config = config or constrained_config()
+    names = list(names) if names is not None else list(LOOP_WORKLOADS)
+    tasks = [(name, scale, plan, config) for name in names]
+    return run_tasks(_workload_row, tasks, jobs=jobs)
+
+
+__all__ = [
+    "LOOP_WORKLOADS",
+    "constrained_config",
+    "pgo_loop_experiment",
+]

@@ -2,33 +2,85 @@
 
 "Compilers can use path profiles to identify portions of a program that
 would benefit from optimization, and as an empirical basis for making
-optimization tradeoffs."  Two such consumers are implemented:
+optimization tradeoffs."  The package is organised as a measured-
+profile-driven pass pipeline:
 
+* :mod:`repro.opt.measured` — the read-only :class:`MeasuredProfile`
+  view every pass consumes: hot paths from flow/kflow tables, hot call
+  edges from CCTs, per-block attributions — built live from a
+  :class:`~repro.session.ProfileRun` or decoded from a stored run;
+* :mod:`repro.opt.pipeline` — :class:`OptPlan` / :func:`run_pipeline`,
+  the pass manager with shared code-growth budgets;
+* :mod:`repro.opt.inline` — CCT-driven inlining of hot call edges;
+* :mod:`repro.opt.superblock` — superblock formation: clone the
+  blocks of a hot loop path into a single-entry trace and straighten
+  away its internal jumps, trading code size (the paper: "these
+  optimizations duplicate paths to customize them, which increases
+  code size") for fewer executed instructions;
 * :mod:`repro.opt.layout` — hot-path code layout: reorder each
   function's blocks so the hottest path is contiguous in memory,
   improving I-cache behaviour with zero semantic change;
-* :mod:`repro.opt.superblock` — superblock formation: clone the
-  blocks of the hottest loop path into a single-entry trace and
-  straighten away its internal jumps, trading code size (the paper:
-  "these optimizations duplicate paths to customize them, which
-  increases code size") for fewer executed instructions.
+* :mod:`repro.opt.cleanup` — constant folding, copy propagation, and
+  unreachable-block removal.
+
+The `profile -> optimize -> re-measure` loop that proves the win on
+the counters lives one layer up, in :mod:`repro.session.pgo`.
 """
 
 from repro.opt.cleanup import (
     cleanup_function,
     cleanup_program,
     fold_constants,
+    merge_blocks,
     remove_unreachable_blocks,
 )
+from repro.opt.inline import InlineResult, inline_call, inline_hot_calls
 from repro.opt.layout import profile_guided_layout
-from repro.opt.superblock import SuperblockResult, form_superblock
+from repro.opt.measured import (
+    CallEdge,
+    HotPath,
+    MeasuredFunctionProfile,
+    MeasuredProfile,
+    MeasuredProfileError,
+)
+from repro.opt.pipeline import (
+    OptError,
+    OptPlan,
+    PASSES,
+    PassResult,
+    PipelineResult,
+    run_pipeline,
+)
+from repro.opt.superblock import (
+    SuperblockResult,
+    form_superblock,
+    form_superblock_from_path,
+    hottest_loop_path,
+)
 
 __all__ = [
+    "CallEdge",
+    "HotPath",
+    "InlineResult",
+    "MeasuredFunctionProfile",
+    "MeasuredProfile",
+    "MeasuredProfileError",
+    "OptError",
+    "OptPlan",
+    "PASSES",
+    "PassResult",
+    "PipelineResult",
     "SuperblockResult",
     "cleanup_function",
     "cleanup_program",
     "fold_constants",
     "form_superblock",
+    "form_superblock_from_path",
+    "hottest_loop_path",
+    "inline_call",
+    "inline_hot_calls",
+    "merge_blocks",
     "profile_guided_layout",
     "remove_unreachable_blocks",
+    "run_pipeline",
 ]

@@ -10,8 +10,11 @@ companion optimizer would run after splicing or duplication:
   unconditional.
 * :func:`remove_unreachable_blocks` — drop blocks no path from the
   entry reaches (superblock formation, for one, orphans originals).
-* :func:`cleanup_function` / :func:`cleanup_program` — both, to a
-  fixpoint.
+* :func:`merge_blocks` — splice a block into its unique ``br``
+  successor, removing the executed jump (inlining and superblock
+  formation both leave such seams).
+* :func:`cleanup_function` / :func:`cleanup_program` — all of the
+  above, to a fixpoint.
 
 None of the passes touch instrumentation pseudo-instructions, and all
 preserve observable behaviour: tests check optimized programs return
@@ -39,12 +42,18 @@ from repro.ir.instructions import (
 
 
 def fold_constants(function: Function) -> int:
-    """Per-block constant/copy propagation; returns changes made."""
+    """Per-block constant/copy propagation; returns changes made.
+
+    A block is rebound (and its edit generation stamped, per the
+    invalidation contract) only when rewriting actually changed an
+    instruction — an untouched block keeps its decoded/compiled code.
+    """
     changes = 0
     for block in function.blocks:
         known: Dict[int, Union[int, float]] = {}
         copies: Dict[int, int] = {}
         rewritten: List[Instruction] = []
+        block_changed = False
         for instr in block.instrs:
             kind = instr.kind
             if kind == Kind.CONST:
@@ -61,10 +70,15 @@ def fold_constants(function: Function) -> int:
                     copies.pop(instr.dst, None)
                     _invalidate_copies_of(copies, instr.dst)
                     changes += 1
+                    block_changed = True
                 else:
                     copies[instr.dst] = source
                     known.pop(instr.dst, None)
-                    rewritten.append(Move(instr.dst, source))
+                    if source != instr.src:
+                        rewritten.append(Move(instr.dst, source))
+                        block_changed = True
+                    else:
+                        rewritten.append(instr)
                 continue
             if kind == Kind.BINOP:
                 a = copies.get(instr.a, instr.a)
@@ -86,8 +100,13 @@ def fold_constants(function: Function) -> int:
                     copies.pop(instr.dst, None)
                     _invalidate_copies_of(copies, instr.dst)
                     changes += 1
+                    block_changed = True
                     continue
-                rewritten.append(Binop(instr.op, instr.dst, a, b))
+                if a != instr.a or b is not instr.b:
+                    rewritten.append(Binop(instr.op, instr.dst, a, b))
+                    block_changed = True
+                else:
+                    rewritten.append(instr)
                 known.pop(instr.dst, None)
                 copies.pop(instr.dst, None)
                 _invalidate_copies_of(copies, instr.dst)
@@ -98,10 +117,12 @@ def fold_constants(function: Function) -> int:
                     target = instr.then if known[cond] != 0 else instr.els
                     rewritten.append(Br(target))
                     changes += 1
+                    block_changed = True
                     continue
                 if cond != instr.cond:
                     rewritten.append(Cbr(cond, instr.then, instr.els))
                     changes += 1
+                    block_changed = True
                     continue
                 rewritten.append(instr)
                 continue
@@ -111,8 +132,9 @@ def fold_constants(function: Function) -> int:
                 copies.pop(reg, None)
                 _invalidate_copies_of(copies, reg)
             rewritten.append(instr)
-        block.instrs = rewritten
-        block.note_edit()
+        if block_changed:
+            block.instrs = rewritten
+            block.note_edit()
     return changes
 
 
@@ -121,16 +143,86 @@ def _invalidate_copies_of(copies: Dict[int, int], reg: int) -> None:
         del copies[dst]
 
 
+def merge_blocks(function: Function) -> int:
+    """Merge each block into its unique ``br`` successor; returns merges.
+
+    When a block ends in an unconditional branch to a block with no
+    other predecessors, the two are one straight-line region split by
+    an executed jump — inlining and superblock formation both leave
+    such seams (entry glue, lowered returns, straightened traces).
+    Merging splices the successor's instructions over the branch,
+    removing one executed instruction per traversal.  Blocks carrying
+    instrumentation pseudo-instructions are left alone (probe placement
+    is per-block), and the entry block is never absorbed.
+    """
+    merges = 0
+    while True:
+        cfg = build_cfg(function)
+        by_name = {b.name: b for b in function.blocks}
+        merged = False
+        for block in function.blocks:
+            if not block.instrs:
+                continue
+            last = block.instrs[-1]
+            if last.kind != Kind.BR:
+                continue
+            target = last.target
+            if target == block.name or target == function.entry.name:
+                continue
+            if len(cfg.pred.get(target, ())) != 1:
+                continue
+            tblock = by_name[target]
+            if any(
+                i.kind >= Kind.PATH_RESET
+                for i in block.instrs + tblock.instrs
+            ):
+                continue
+            block.instrs = block.instrs[:-1] + tblock.instrs
+            function.blocks.remove(tblock)
+            function.invalidate_index()
+            block.note_edit()
+            merges += 1
+            merged = True
+            break
+        if not merged:
+            break
+    if merges and function.assign_call_sites():
+        for block in function.blocks:
+            if any(i.kind in (Kind.CALL, Kind.ICALL) for i in block.instrs):
+                block.note_edit()
+    return merges
+
+
 def remove_unreachable_blocks(function: Function) -> int:
-    """Drop blocks unreachable from the entry; returns blocks removed."""
+    """Drop blocks unreachable from the entry; returns blocks removed.
+
+    When a removed block contained a call, the surviving call sites
+    renumber — and compiled block closures bake ``Call.site`` in, so
+    every surviving block with a call is stamped with a fresh edit
+    generation (the invalidation contract; relying on the incidental
+    address shift of later blocks is not enough for a block whose
+    address happens to stay put).
+    """
     cfg = build_cfg(function)
     reachable: Set[str] = set(depth_first_order(cfg))
     keep = [b for b in function.blocks if b.name in reachable]
-    removed = len(function.blocks) - len(keep)
+    dropped = [b for b in function.blocks if b.name not in reachable]
+    removed = len(dropped)
     if removed:
+        sites_shift = any(
+            i.kind in (Kind.CALL, Kind.ICALL)
+            for b in dropped
+            for i in b.instrs
+        )
         function.blocks = keep
         function.invalidate_index()
         function.assign_call_sites()
+        if sites_shift:
+            for block in function.blocks:
+                if any(
+                    i.kind in (Kind.CALL, Kind.ICALL) for i in block.instrs
+                ):
+                    block.note_edit()
     return removed
 
 
@@ -140,6 +232,7 @@ def cleanup_function(function: Function, max_rounds: int = 8) -> int:
     for _ in range(max_rounds):
         changes = fold_constants(function)
         changes += remove_unreachable_blocks(function)
+        changes += merge_blocks(function)
         total += changes
         if not changes:
             break

@@ -13,16 +13,21 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.ir.function import Program
-from repro.profiles.pathprofile import PathProfile
 
 
-def profile_guided_layout(program: Program, profile: PathProfile) -> Dict[str, List[str]]:
+def profile_guided_layout(program: Program, profile) -> Dict[str, List[str]]:
     """Reorder blocks in place; returns the new order per function.
 
-    Blocks are ranked by the total frequency of the executed paths that
-    contain them, then emitted in the order the hottest path visits
-    them, with the remaining blocks (cold or unprofiled) appended in
-    their original order.  The entry block always stays first.
+    ``profile`` is any measured view whose ``functions`` map carries
+    per-function ``counts`` and ``decode`` — a live
+    :class:`~repro.profiles.pathprofile.PathProfile` or a
+    :class:`~repro.opt.measured.MeasuredProfile` decoded from a stored
+    run.  Blocks are ranked by the total frequency of the executed
+    paths that contain them, then emitted in the order the hottest
+    path visits them, with the remaining blocks (cold or unprofiled)
+    appended in their original order.  The entry block always stays
+    first.  Block order is purely a layout property in this IR, so the
+    pass can only move instruction-cache behaviour, never semantics.
     """
     new_orders: Dict[str, List[str]] = {}
     for name, function_profile in profile.functions.items():

@@ -1,0 +1,297 @@
+"""The measured-profile-driven optimization pipeline.
+
+An :class:`OptPlan` names the passes to run (with their budgets); a
+:class:`MeasuredProfile` supplies the numbers; :func:`run_pipeline`
+applies the passes to a program in place, validating after each one
+and recording what every pass did.  Each pass consumes only the
+read-only measured view — nothing in this package re-profiles, so the
+same stored run can drive many candidate plans.
+
+Registered passes:
+
+* ``inline`` — CCT-driven inlining of hot call edges under a size
+  budget (:mod:`repro.opt.inline`); a no-op for profiles without a
+  CCT (flow-only modes).
+* ``superblock`` — hot-path-driven superblock formation, selected
+  globally: candidate loop paths from *all* functions are ranked by
+  measured frequency and applied hottest-first (at most one trace per
+  loop header) under the shared code-growth budget.
+* ``layout`` — profile-guided code layout ordered by measured path
+  frequency (:mod:`repro.opt.layout`).
+* ``cleanup`` — constant folding and unreachable-block removal to a
+  fixpoint (:mod:`repro.opt.cleanup`), which prunes the originals the
+  superblock pass orphans.
+
+The default plan runs all four in that order: inlining first (it
+exposes calls to the later intraprocedural passes), then trace
+formation, then layout, then cleanup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cfg.graph import build_cfg
+from repro.ir.function import Program, validate_program
+from repro.pathprof.numbering import PathProfilingError, number_paths
+from repro.opt.cleanup import cleanup_program
+from repro.opt.inline import inline_hot_calls
+from repro.opt.layout import profile_guided_layout
+from repro.opt.measured import MeasuredProfile
+from repro.opt.superblock import form_superblock_from_path
+
+
+class OptError(ValueError):
+    """The plan is malformed (unknown pass name, bad budget)."""
+
+
+@dataclass(frozen=True)
+class OptPlan:
+    """What to run and under which budgets — pure data, JSON-safe."""
+
+    passes: Tuple[str, ...] = ("inline", "superblock", "layout", "cleanup")
+    #: Minimum measured frequency for a superblock trace.
+    min_freq: int = 2
+    #: Minimum measured invocation count for an inlined call edge.
+    min_calls: int = 2
+    #: Largest callee (icost-weighted) the inliner will duplicate.
+    max_callee_size: int = 40
+    #: Fraction of the original program size each duplicating pass may
+    #: add (inlining and superblock formation share the same knob).
+    growth_budget: float = 0.25
+    #: Absolute floor on that allowance: a small program may always
+    #: grow by this many icost-weighted instructions (a fraction of a
+    #: tiny program starves every duplicating pass, and tiny programs
+    #: are exactly the ones code growth cannot hurt).
+    growth_floor: int = 32
+
+    def __post_init__(self):
+        for name in self.passes:
+            if name not in PASSES:
+                raise OptError(
+                    f"unknown pass {name!r}; options: {sorted(PASSES)}"
+                )
+        if self.growth_budget < 0:
+            raise OptError("growth_budget must be >= 0")
+        if self.growth_floor < 0:
+            raise OptError("growth_floor must be >= 0")
+
+    def to_json(self) -> dict:
+        return {
+            "passes": list(self.passes),
+            "min_freq": self.min_freq,
+            "min_calls": self.min_calls,
+            "max_callee_size": self.max_callee_size,
+            "growth_budget": self.growth_budget,
+            "growth_floor": self.growth_floor,
+        }
+
+
+@dataclass
+class PassResult:
+    """One pass's outcome: did it change anything, and what exactly."""
+
+    name: str
+    changed: bool
+    details: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {"pass": self.name, "changed": self.changed, **self.details}
+
+
+@dataclass
+class PipelineResult:
+    """Everything the pipeline did to the program."""
+
+    plan: OptPlan
+    passes: List[PassResult]
+    icost_before: int
+    icost_after: int
+
+    @property
+    def changed(self) -> bool:
+        return any(p.changed for p in self.passes)
+
+    def to_json(self) -> dict:
+        return {
+            "plan": self.plan.to_json(),
+            "passes": [p.to_json() for p in self.passes],
+            "icost_before": self.icost_before,
+            "icost_after": self.icost_after,
+        }
+
+
+# -- the passes --------------------------------------------------------------
+
+
+def _pass_inline(
+    program: Program, profile: MeasuredProfile, plan: OptPlan
+) -> PassResult:
+    results = inline_hot_calls(
+        program,
+        profile,
+        min_calls=plan.min_calls,
+        max_callee_size=plan.max_callee_size,
+        growth_budget=plan.growth_budget,
+        growth_floor=plan.growth_floor,
+    )
+    return PassResult(
+        "inline",
+        bool(results),
+        {
+            "inlined": [
+                {
+                    "caller": r.caller,
+                    "callee": r.callee,
+                    "site": r.site,
+                    "calls": r.calls,
+                    "code_growth": r.code_growth,
+                }
+                for r in results
+            ]
+        },
+    )
+
+
+def _profile_matches(function, profile: MeasuredProfile) -> bool:
+    """Is the measured numbering still valid for this function's CFG?
+
+    An earlier pass (inlining, above all) may have restructured the
+    function since it was measured; decoding path sums against the new
+    CFG would be silently wrong.  The potential-path count is the same
+    witness the store uses: rebuild the numbering and compare.
+    """
+    measured = profile.functions.get(function.name)
+    if measured is None:
+        return False
+    try:
+        numbering = number_paths(build_cfg(function))
+    except PathProfilingError:
+        return False
+    return numbering.num_paths == measured.num_potential_paths
+
+
+def _pass_superblock(
+    program: Program, profile: MeasuredProfile, plan: OptPlan
+) -> PassResult:
+    """Global hot-path selection: hottest measured loop paths first.
+
+    One trace per (function, loop header); the shared growth budget is
+    spent hottest-first, so when the allowance runs out it is the cold
+    tail that goes untransformed.  A function whose CFG no longer
+    matches the measured numbering (an earlier inline restructured it)
+    is skipped rather than mis-decoded — re-profiling the optimized
+    program and running the pipeline again chases that exposed
+    opportunity, which is exactly the loop :mod:`repro.session.pgo`
+    closes.
+    """
+    original = program.total_instructions()
+    allowance = max(int(original * plan.growth_budget), plan.growth_floor)
+    spent = 0
+    formed: Dict[Tuple[str, str], object] = {}
+    fresh: Dict[str, bool] = {}
+    results = []
+    for candidate in profile.hot_loop_paths(min_freq=plan.min_freq):
+        function = program.functions.get(candidate.function)
+        if function is None:
+            continue
+        if candidate.function not in fresh:
+            fresh[candidate.function] = _profile_matches(function, profile)
+        if not fresh[candidate.function]:
+            continue
+        header = candidate.path.blocks[0]
+        if (candidate.function, header) in formed:
+            continue
+        trace_cost = sum(
+            sum(i.icost for i in function.block(name).instrs)
+            for name in candidate.path.blocks
+            if any(b.name == name for b in function.blocks)
+        )
+        if spent + trace_cost > allowance:
+            continue
+        outcome = form_superblock_from_path(
+            function, candidate.path, candidate.freq
+        )
+        if outcome is None:
+            continue
+        spent += outcome.code_growth
+        formed[(candidate.function, header)] = outcome
+        results.append(outcome)
+    return PassResult(
+        "superblock",
+        bool(results),
+        {
+            "superblocks": [
+                {
+                    "function": r.function,
+                    "header": r.header,
+                    "trace": r.trace,
+                    "freq": r.trace_freq,
+                    "jumps_straightened": r.jumps_straightened,
+                    "code_growth": r.code_growth,
+                }
+                for r in results
+            ]
+        },
+    )
+
+
+def _pass_layout(
+    program: Program, profile: MeasuredProfile, plan: OptPlan
+) -> PassResult:
+    orders = profile_guided_layout(program, profile)
+    return PassResult(
+        "layout", bool(orders), {"reordered": sorted(orders)}
+    )
+
+
+def _pass_cleanup(
+    program: Program, profile: MeasuredProfile, plan: OptPlan
+) -> PassResult:
+    changes = cleanup_program(program)
+    return PassResult("cleanup", changes > 0, {"changes": changes})
+
+
+#: The pass registry: name -> callable(program, profile, plan).
+PASSES: Dict[str, Callable[[Program, MeasuredProfile, OptPlan], PassResult]] = {
+    "inline": _pass_inline,
+    "superblock": _pass_superblock,
+    "layout": _pass_layout,
+    "cleanup": _pass_cleanup,
+}
+
+
+def run_pipeline(
+    program: Program,
+    profile: MeasuredProfile,
+    plan: Optional[OptPlan] = None,
+) -> PipelineResult:
+    """Apply the plan's passes to ``program`` in place.
+
+    The program is validated after every pass — a pass that breaks a
+    structural invariant fails loudly here, not as a wrong answer at
+    the next run.
+    """
+    plan = plan or OptPlan()
+    icost_before = program.total_instructions()
+    results = []
+    for name in plan.passes:
+        results.append(PASSES[name](program, profile, plan))
+        validate_program(program)
+    return PipelineResult(
+        plan=plan,
+        passes=results,
+        icost_before=icost_before,
+        icost_after=program.total_instructions(),
+    )
+
+
+__all__ = [
+    "OptError",
+    "OptPlan",
+    "PASSES",
+    "PassResult",
+    "PipelineResult",
+    "run_pipeline",
+]

@@ -1,18 +1,26 @@
-"""Superblock formation from a path profile.
+"""Superblock formation from a measured path profile.
 
-Takes a function's hottest steady-state loop path — a Ball–Larus path
-that both enters and leaves through backedges to the same header — and
-tail-duplicates it into a *superblock*: a single-entry clone of the
-trace whose internal unconditional jumps are straightened away.  All
-edges into the original header are redirected to the clone, so steady
-iterations run entirely inside the trace; any off-trace branch falls
-back into the original blocks and re-enters the trace at the next
-backedge.
+Takes a steady-state loop path — a Ball–Larus path that both enters
+and leaves through backedges to the same header — and tail-duplicates
+it into a *superblock*: a single-entry clone of the trace whose
+internal unconditional jumps are straightened away.  All edges into
+the original header are redirected to the clone, so steady iterations
+run entirely inside the trace; any off-trace branch falls back into
+the original blocks and re-enters the trace at the next backedge.
 
 This is precisely the trade the paper's summary describes: "these
 optimizations duplicate paths to customize them, which increases code
 size" — and a path profile is what makes picking the right trace an
 empirical decision rather than a guess.
+
+Selection and transformation are separate layers: the pass pipeline
+(:mod:`repro.opt.pipeline`) ranks candidate loop paths *across all
+functions* via :meth:`~repro.opt.measured.MeasuredProfile.
+hot_loop_paths` and applies :func:`form_superblock_from_path` to the
+winners under a code-growth budget; :func:`form_superblock` survives
+as the single-function convenience that picks the hottest qualifying
+path from one profile (live or measured — both carry ``counts`` and
+``decode``).
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ from typing import Dict, List, Optional
 
 from repro.ir.function import Block, Function, validate_function
 from repro.ir.instructions import Kind
-from repro.profiles.pathprofile import FunctionPathProfile
+from repro.pathprof.numbering import ReconstructedPath
 
 
 @dataclass
@@ -40,8 +48,13 @@ class SuperblockResult:
     code_growth: int  # icost-weighted instructions added
 
 
-def _hottest_loop_path(profile: FunctionPathProfile):
-    """The most frequent backedge-to-backedge path around one header."""
+def hottest_loop_path(profile):
+    """The most frequent backedge-to-backedge path around one header.
+
+    ``profile`` is anything with ``counts`` and ``decode`` — a live
+    :class:`~repro.profiles.pathprofile.FunctionPathProfile` or a
+    :class:`~repro.opt.measured.MeasuredFunctionProfile`.
+    """
     best = None
     best_freq = 0
     for path_sum, freq in profile.counts.items():
@@ -59,13 +72,27 @@ def _hottest_loop_path(profile: FunctionPathProfile):
 
 def form_superblock(
     function: Function,
-    profile: FunctionPathProfile,
+    profile,
     min_freq: int = 2,
 ) -> Optional[SuperblockResult]:
-    """Apply superblock formation in place; None when no trace qualifies."""
-    path, freq = _hottest_loop_path(profile)
+    """Pick the hottest loop path of one function and superblock it."""
+    path, freq = hottest_loop_path(profile)
     if path is None or freq < min_freq:
         return None
+    return form_superblock_from_path(function, path, freq)
+
+
+def form_superblock_from_path(
+    function: Function,
+    path: ReconstructedPath,
+    freq: int,
+) -> Optional[SuperblockResult]:
+    """Apply superblock formation for one selected loop path, in place.
+
+    ``path`` must be a steady-state loop path (entry and exit backedges
+    to the same header); returns None when the function was already
+    transformed (the clone names exist).
+    """
     header = path.blocks[0]
     trace = list(path.blocks)
     size_before = function.size_in_instructions()
@@ -119,7 +146,11 @@ def form_superblock(
             position += 1
 
     function.invalidate_index()
-    function.assign_call_sites()
+    if function.assign_call_sites():
+        # Sites renumbered: decoded blocks bake ``Call.site`` into their
+        # compiled closures, so every block with a call must be evicted.
+        for block in function.blocks:
+            block.note_edit()
     validate_function(function)
     return SuperblockResult(
         function=function.name,

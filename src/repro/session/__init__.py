@@ -10,6 +10,7 @@ facade, the sharded runner, the benchmark harness, the experiments,
 the CLI — builds on this package.
 """
 
+from repro.session.pgo import PGOError, PGOReport, pgo_cycle
 from repro.session.session import (
     PHASES,
     Instrumented,
@@ -29,6 +30,8 @@ __all__ = [
     "Instrumented",
     "LABELS",
     "MODES",
+    "PGOError",
+    "PGOReport",
     "PHASES",
     "PLACEMENTS",
     "ProfileRun",
@@ -36,4 +39,5 @@ __all__ = [
     "ProfileSpec",
     "ProfileSpecError",
     "clone_program",
+    "pgo_cycle",
 ]

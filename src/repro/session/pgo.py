@@ -1,0 +1,217 @@
+"""The closed PGO loop: profile -> optimize -> re-measure -> verify.
+
+The paper's summary says profiles exist so compilers can act on them;
+this module is the acting.  :func:`pgo_cycle` takes a program and
+either measures it live or decodes a run persisted in a
+:class:`~repro.store.ProfileStore`, drives the
+:mod:`repro.opt.pipeline` passes off that measured view, then
+*re-measures* both the original and the optimized program on the same
+machine and inputs and judges the counter deltas through the store's
+verdict algebra (:func:`repro.store.detect.counter_findings`).  The
+result is a ``repro-pgo-report-v1`` document that states, in measured
+hardware-counter terms, whether the optimization was worth it — and
+proves the transformation preserved behaviour by comparing
+architectural results.
+
+Both re-measure runs use ``mode="baseline"`` (no instrumentation):
+the claim under test is about the *program*, so the probes that
+collected the driving profile must not be in the picture.  When a
+store is supplied with ``save=True`` the two verification runs are
+persisted under the same workload; they differ only in code
+fingerprint, which is exactly the lineage
+:meth:`~repro.store.ProfileStore.baseline_for` separates with
+``same_code=True``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence
+
+from repro.ir.function import Program
+from repro.machine.counters import Event
+from repro.opt import MeasuredProfile, OptPlan, PipelineResult, run_pipeline
+from repro.session.session import ProfileSession, clone_program
+from repro.session.spec import ProfileSpec
+from repro.store.detect import (
+    DetectorReport,
+    Thresholds,
+    Verdict,
+    counter_findings,
+)
+from repro.store.store import code_fingerprint
+
+
+class PGOError(ValueError):
+    """The cycle cannot run (no profile source, foreign stored run)."""
+
+
+@dataclass
+class PGOReport:
+    """Everything one PGO cycle measured, decided, and proved."""
+
+    workload: Optional[str]
+    spec: ProfileSpec
+    plan: OptPlan
+    #: ``"live"`` or the store run id the driving profile came from.
+    profile_source: str
+    pipeline: PipelineResult
+    thresholds: Thresholds
+    baseline_counters: Dict[Event, int]
+    optimized_counters: Dict[Event, int]
+    baseline_return: object
+    optimized_return: object
+    architectural_match: bool
+    counters_report: DetectorReport
+    baseline_stored_as: Optional[str] = None
+    optimized_stored_as: Optional[str] = None
+
+    @property
+    def verdict(self) -> Verdict:
+        """Degradation on any behaviour change, else the counter verdict.
+
+        An optimized program that returns a different answer is not a
+        slower program — it is a wrong one; no counter win outweighs
+        that.
+        """
+        if not self.architectural_match:
+            return Verdict.DEGRADATION
+        return self.counters_report.verdict
+
+    def to_json(self) -> dict:
+        return {
+            "format": "repro-pgo-report-v1",
+            "workload": self.workload,
+            "spec": self.spec.to_json(),
+            "spec_digest": self.spec.digest(),
+            "profile_source": self.profile_source,
+            "plan": self.plan.to_json(),
+            "pipeline": self.pipeline.to_json(),
+            "thresholds": self.thresholds.to_json(),
+            "architectural_match": self.architectural_match,
+            "return_values": {
+                "baseline": self.baseline_return,
+                "optimized": self.optimized_return,
+            },
+            "counters": {
+                "baseline": {
+                    e.name: v for e, v in sorted(self.baseline_counters.items())
+                },
+                "optimized": {
+                    e.name: v
+                    for e, v in sorted(self.optimized_counters.items())
+                },
+            },
+            "detectors": [self.counters_report.to_json()],
+            "verdict": self.verdict.value,
+            "stored": {
+                "baseline": self.baseline_stored_as,
+                "optimized": self.optimized_stored_as,
+            },
+        }
+
+    def to_json_str(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+
+def pgo_cycle(
+    program: Program,
+    spec: Optional[ProfileSpec] = None,
+    args: Optional[Sequence[int]] = None,
+    *,
+    session: Optional[ProfileSession] = None,
+    store=None,
+    run_ref: Optional[str] = None,
+    plan: Optional[OptPlan] = None,
+    thresholds: Optional[Thresholds] = None,
+    workload: Optional[str] = None,
+    save: bool = False,
+) -> PGOReport:
+    """One full profile -> optimize -> re-measure cycle over ``program``.
+
+    The driving profile comes from one of two places:
+
+    * ``run_ref`` set — resolve and load that run from ``store`` and
+      decode it against ``program`` (whose code fingerprint must match
+      the stored one: a profile of different code cannot drive
+      transformations of this one);
+    * otherwise — profile live under ``spec`` (which must carry a
+      profile-producing mode; plain ``baseline`` measures nothing the
+      optimizer can use).
+
+    ``program`` itself is never mutated — the pipeline runs over a
+    clone.  Both verification runs execute uninstrumented
+    (``mode="baseline"``) with the same ``args`` on the session's
+    machine configuration; with ``save=True`` and a ``store`` they are
+    persisted under ``workload``.
+    """
+    session = session or ProfileSession()
+    plan = plan or OptPlan()
+    thresholds = thresholds or Thresholds()
+
+    if run_ref is not None:
+        if store is None:
+            raise PGOError("a stored run reference needs a store")
+        stored = store.load(store.resolve(run_ref))
+        ours = code_fingerprint(program)
+        if stored.code_fingerprint != ours:
+            raise PGOError(
+                f"stored run {stored.run_id[:12]} was measured against "
+                f"code {stored.code_fingerprint[:12]}, but this program "
+                f"fingerprints as {ours[:12]} — profiles only drive the "
+                f"code they measured"
+            )
+        profile = MeasuredProfile.from_stored(stored, program)
+        spec = stored.spec
+        if workload is None:
+            workload = stored.workload
+        if args is None:
+            args = spec.inputs[0] if spec.inputs else ()
+    else:
+        if spec is None:
+            raise PGOError("either a live spec or a stored run reference")
+        if spec.mode == "baseline":
+            raise PGOError(
+                "mode 'baseline' collects no profile to optimize from; "
+                "use a flow/context/kflow mode"
+            )
+        if args is None:
+            args = spec.inputs[0] if spec.inputs else ()
+        live = session.run(spec, program, args, workload=workload)
+        profile = MeasuredProfile.from_run(live, program, by_site=spec.by_site)
+
+    optimized = clone_program(program)
+    pipeline = run_pipeline(optimized, profile, plan)
+
+    # Re-measure: both programs, uninstrumented, same machine and args.
+    measure_spec = replace(spec, mode="baseline", k=None)
+    save_to = store if (save and store is not None) else None
+    base_run = session.run(
+        measure_spec, program, args, store=save_to, workload=workload
+    )
+    opt_run = session.run(
+        measure_spec, optimized, args, store=save_to, workload=workload
+    )
+
+    return PGOReport(
+        workload=workload,
+        spec=spec,
+        plan=plan,
+        profile_source=profile.source,
+        pipeline=pipeline,
+        thresholds=thresholds,
+        baseline_counters=dict(base_run.result.counters),
+        optimized_counters=dict(opt_run.result.counters),
+        baseline_return=base_run.return_value,
+        optimized_return=opt_run.return_value,
+        architectural_match=base_run.return_value == opt_run.return_value,
+        counters_report=counter_findings(
+            base_run.result.counters, opt_run.result.counters, thresholds
+        ),
+        baseline_stored_as=base_run.stored_as,
+        optimized_stored_as=opt_run.stored_as,
+    )
+
+
+__all__ = ["PGOError", "PGOReport", "pgo_cycle"]

@@ -13,7 +13,9 @@ from repro.store.detect import (
     Finding,
     Thresholds,
     Verdict,
+    counter_findings,
     diff_profiles,
+    worst,
 )
 from repro.store.encode import StoredFunctionPaths
 from repro.store.iojson import (
@@ -37,8 +39,10 @@ __all__ = [
     "Verdict",
     "canonical_json",
     "code_fingerprint",
+    "counter_findings",
     "diff_profiles",
     "json_digest",
     "payload_digest",
+    "worst",
     "write_json_atomic",
 ]

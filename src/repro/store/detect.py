@@ -191,14 +191,20 @@ class DiffReport:
 # -- the detectors -----------------------------------------------------------
 
 
-def _counter_drift(
-    base: StoredProfile, cand: StoredProfile, t: Thresholds
+def counter_findings(
+    base_counters, cand_counters, t: Thresholds
 ) -> DetectorReport:
+    """Judge two raw counter dicts (``Event -> int``) per threshold.
+
+    The counter half of the diff algebra, exposed for callers that have
+    counters but no :class:`StoredProfile` — the PGO loop re-measures a
+    program it just transformed, so there is no stored run to wrap.
+    """
     findings = []
     checked = 0
     for event in t.events:
-        before = base.counters.get(event, 0)
-        after = cand.counters.get(event, 0)
+        before = base_counters.get(event, 0)
+        after = cand_counters.get(event, 0)
         if not before and not after:
             continue
         checked += 1
@@ -208,6 +214,12 @@ def _counter_drift(
     return DetectorReport(
         "counters", worst(f.verdict for f in findings), checked, findings
     )
+
+
+def _counter_drift(
+    base: StoredProfile, cand: StoredProfile, t: Thresholds
+) -> DetectorReport:
+    return counter_findings(base.counters, cand.counters, t)
 
 
 def _context_label(context) -> str:
@@ -364,6 +376,7 @@ __all__ = [
     "MIRROR",
     "Thresholds",
     "Verdict",
+    "counter_findings",
     "diff_profiles",
     "worst",
 ]

@@ -381,12 +381,18 @@ class ProfileStore:
             record=record,
         )
 
-    def baseline_for(self, stored: StoredProfile) -> Optional[StoredProfile]:
+    def baseline_for(
+        self, stored: StoredProfile, same_code: bool = False
+    ) -> Optional[StoredProfile]:
         """The most recent *earlier* run of the same spec and workload.
 
-        The CI gate's comparison point.  Code fingerprint is
+        The CI gate's comparison point.  By default code fingerprint is
         deliberately not part of the filter: the gate exists to compare
-        across code versions.
+        across code versions.  ``same_code=True`` adds the fingerprint
+        to the filter, selecting the lineage of runs measured against
+        byte-identical code — what a PGO cycle wants, where the
+        interesting baseline is the *same* program before optimization
+        was applied to a copy.
         """
         earlier = [
             entry
@@ -394,6 +400,10 @@ class ProfileStore:
                 workload=stored.workload, spec_digest=stored.spec_digest
             )
             if entry["seq"] < stored.seq
+            and (
+                not same_code
+                or entry["code_fingerprint"] == stored.code_fingerprint
+            )
         ]
         if not earlier:
             return None

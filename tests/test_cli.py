@@ -247,6 +247,80 @@ class TestOptimize:
         out = capsys.readouterr().out
         assert "superblock in main" in out
         assert "cycles:" in out
+        assert "verdict:" in out
+
+    def test_optimize_run_ref_requires_store(self, tmp_path):
+        path = tmp_path / "loopy.pl"
+        path.write_text(self.LOOPY)
+        assert main(["optimize", str(path), "--run", "latest"]) == 2
+
+    def test_optimize_unknown_pass_is_usage_error(self, tmp_path):
+        path = tmp_path / "loopy.pl"
+        path.write_text(self.LOOPY)
+        assert main(["optimize", str(path), "--passes", "zorp"]) == 2
+
+    def test_optimize_json_and_report_file_agree(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "loopy.pl"
+        path.write_text(self.LOOPY)
+        report = tmp_path / "report.json"
+        assert (
+            main(["optimize", str(path), "--json", "--report", str(report)])
+            == 0
+        )
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["format"] == "repro-pgo-report-v1"
+        assert blob["architectural_match"] is True
+        assert blob["profile_source"] == "live"
+        assert json.loads(report.read_text()) == blob
+
+    def test_optimize_from_stored_run(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "loopy.pl"
+        path.write_text(self.LOOPY)
+        store = str(tmp_path / "store")
+        assert (
+            main(
+                [
+                    "profile", str(path),
+                    "--mode", "combined",
+                    "--store", store,
+                    "--workload", "w",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "optimize", str(path),
+                    "--store", store,
+                    "--run", "latest",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["profile_source"] != "live"
+        assert blob["workload"] == "w"
+        # save-on-store: both verification runs were persisted
+        assert blob["stored"]["baseline"] and blob["stored"]["optimized"]
+
+    def test_optimize_rejects_foreign_stored_profile(self, tmp_path, capsys):
+        path = tmp_path / "loopy.pl"
+        path.write_text(self.LOOPY)
+        store = str(tmp_path / "store")
+        assert main(["profile", str(path), "--store", store]) == 0
+        other = tmp_path / "other.pl"
+        other.write_text("fn main() { return 4; }")
+        assert (
+            main(["optimize", str(other), "--store", store, "--run", "latest"])
+            == 2
+        )
 
 
 class TestShardRun:

@@ -11,6 +11,7 @@ from repro.opt.cleanup import (
     cleanup_function,
     cleanup_program,
     fold_constants,
+    merge_blocks,
     remove_unreachable_blocks,
 )
 from repro.tools.pp import clone_program
@@ -201,3 +202,178 @@ class TestCleanupPreservesSemantics:
         optimized = Machine(program).run()
         assert optimized.return_value == reference.return_value
         assert optimized[Event.INSTRS] <= reference[Event.INSTRS]
+
+
+class TestMergeBlocks:
+    def test_chain_of_jumps_collapses(self):
+        program = parse_program(
+            """
+            func main(0) regs=4 {
+            entry:
+                const r0, 1
+                br mid
+            mid:
+                add r0, r0, 2
+                br tail
+            tail:
+                ret r0
+            }
+            """
+        )
+        main = program.functions["main"]
+        assert merge_blocks(main) == 2
+        assert len(main.blocks) == 1
+        assert Kind.BR not in _kinds(main)
+        assert Machine(program).run().return_value == 3
+
+    def test_multi_predecessor_target_kept(self):
+        program = parse_program(
+            """
+            func main(1) regs=4 {
+            entry:
+                cbr r0, yes, no
+            yes:
+                br join
+            no:
+                br join
+            join:
+                ret 5
+            }
+            """
+        )
+        main = program.functions["main"]
+        assert merge_blocks(main) == 0
+        assert len(main.blocks) == 4
+
+    def test_entry_and_self_loops_never_merged_away(self):
+        program = parse_program(
+            """
+            func main(0) regs=4 {
+            entry:
+                br back
+            back:
+                br entry
+            }
+            """
+        )
+        main = program.functions["main"]
+        # back may fold into entry, but entry (the function's front
+        # door) and the resulting self-loop must both survive.
+        merge_blocks(main)
+        assert main.entry.name == "entry"
+        assert any(
+            i.kind == Kind.BR for i in main.instructions()
+        )  # the loop edge is still there
+
+    def test_probe_blocks_never_merged(self):
+        """Instrumentation pseudo-instructions pin their blocks: the
+        measured path counts must still equal the oracle's after a
+        merge pass over the instrumented body."""
+        from repro.instrument.pathinstr import instrument_paths
+        from repro.instrument.tables import ProfilingRuntime
+        from repro.machine.memory import MemoryMap
+        from repro.profiles.oracle import PathOracle
+
+        source = compile_corpus("nested_loops")
+        probe = instrument_paths(clone_program(source), mode="freq")
+        numberings = {n: i.numbering for n, i in probe.functions.items()}
+        oracle = PathOracle(numberings)
+        clean = Machine(clone_program(source))
+        clean.tracer = oracle
+        clean.run()
+
+        program = clone_program(source)
+        runtime = ProfilingRuntime(MemoryMap().profiling.base)
+        flow = instrument_paths(program, mode="freq", runtime=runtime)
+        merged = sum(merge_blocks(f) for f in program.functions.values())
+        machine = Machine(program)
+        machine.path_runtime = runtime
+        machine.run()
+        for name in flow.functions:
+            assert flow.path_counts(name) == oracle.function_counts(name), (
+                name,
+                merged,
+            )
+
+    def test_merge_stamps_only_touched_blocks(self):
+        program = parse_program(
+            """
+            func main(1) regs=8 {
+            entry:
+                cbr r0, left, right
+            left:
+                const r1, 1
+                br tail
+            tail:
+                add r1, r1, 2
+                ret r1
+            right:
+                ret 9
+            }
+            """
+        )
+        main = program.functions["main"]
+        before = {b.name: b.edit_gen for b in main.blocks}
+        assert merge_blocks(main) == 1
+        assert not any(b.name == "tail" for b in main.blocks)
+        left = main.block("left")
+        assert left.edit_gen != before["left"]
+        # No calls anywhere: the untouched blocks keep their stamps.
+        assert main.block("entry").edit_gen == before["entry"]
+        assert main.block("right").edit_gen == before["right"]
+        assert Machine(clone_program(program)).run(1).return_value == 3
+        assert Machine(clone_program(program)).run(0).return_value == 9
+
+    def test_merge_restamps_surviving_call_blocks(self):
+        program = parse_program(
+            """
+            func main(0) regs=8 {
+            entry:
+                call r0, seven()
+                br tail
+            tail:
+                call r1, seven()
+                add r2, r0, r1
+                ret r2
+            }
+            func seven(0) regs=2 {
+            entry:
+                ret 7
+            }
+            """
+        )
+        main = program.functions["main"]
+        before = main.block("entry").edit_gen
+        assert merge_blocks(main) == 1
+        # The merged block holds renumbered call sites: compiled code
+        # baking the old Call.site numbering must be evicted.
+        assert main.block("entry").edit_gen != before
+        sites = [c.site for c in main.call_sites()]
+        assert sites == [0, 1]
+        assert Machine(program).run().return_value == 14
+
+    def test_cleanup_fixpoint_includes_merging(self):
+        program = parse_program(
+            """
+            func main(0) regs=8 {
+            entry:
+                const r0, 1
+                cbr r0, hot, cold
+            hot:
+                const r1, 20
+                br tail
+            tail:
+                add r2, r1, 1
+                ret r2
+            cold:
+                ret 0
+            }
+            """
+        )
+        main = program.functions["main"]
+        cleanup_function(main)
+        # Folding kills the branch, unreachable removal drops cold,
+        # merging splices the straightline chain: one block remains.
+        assert len(main.blocks) == 1
+        assert Kind.BR not in _kinds(main)
+        assert Machine(program).run().return_value == 21

@@ -1,0 +1,193 @@
+"""The closed PGO loop: profile -> optimize -> re-measure -> verify.
+
+What is pinned down here:
+
+* the report schema (``repro-pgo-report-v1``), its verdict algebra
+  (architectural mismatch always wins), and the cycle's guard rails
+  (no baseline specs, no store-less run refs, no foreign profiles);
+* stored-run-driven cycles decode the persisted profile and record
+  its run id as the profile source;
+* ``save=True`` persists both verification runs, and
+  ``baseline_for(..., same_code=True)`` walks exactly the
+  same-fingerprint lineage across repeated cycles;
+* the acceptance claim: on an I-cache-pressured machine, a loop-heavy
+  suite workload comes back ``optimization`` — fewer I-cache misses,
+  bit-identical architectural results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import compile_source
+from repro.machine.config import MachineConfig
+from repro.machine.counters import Event
+from repro.opt import OptPlan
+from repro.session import (
+    PGOError,
+    ProfileSession,
+    ProfileSpec,
+    pgo_cycle,
+)
+from repro.store import ProfileStore, Verdict
+from repro.experiments.pgo import constrained_config
+from repro.workloads.suite import build_workload
+
+SOURCE = """
+global data[128];
+
+fn work(base) {
+    var i = 0; var acc = 0;
+    while (i < 16) {
+        acc = acc + data[(base + i) & 127] + i;
+        i = i + 1;
+    }
+    return acc;
+}
+
+fn main() {
+    var total = 0; var j = 0;
+    while (j < 40) {
+        total = total + work(j);
+        j = j + 1;
+    }
+    return total;
+}
+"""
+
+SPEC = ProfileSpec(mode="context_flow")
+
+
+def _program():
+    return compile_source(SOURCE)
+
+
+class TestReport:
+    def test_schema_and_verdict(self):
+        report = pgo_cycle(_program(), SPEC, workload="unit")
+        blob = report.to_json()
+        assert blob["format"] == "repro-pgo-report-v1"
+        assert blob["workload"] == "unit"
+        assert blob["profile_source"] == "live"
+        assert blob["architectural_match"] is True
+        assert (
+            blob["return_values"]["baseline"]
+            == blob["return_values"]["optimized"]
+        )
+        assert blob["verdict"] == report.verdict.value
+        assert set(blob["counters"]) == {"baseline", "optimized"}
+        assert blob["counters"]["baseline"]["INSTRS"] > 0
+        assert blob["plan"] == report.plan.to_json()
+        assert blob["stored"] == {"baseline": None, "optimized": None}
+
+    def test_mismatch_forces_degradation(self):
+        report = pgo_cycle(_program(), SPEC)
+        assert report.verdict is not Verdict.DEGRADATION
+        # Same counters, different answer: the verdict must flip.
+        report.optimized_return = report.baseline_return + 1
+        report.architectural_match = False
+        assert report.verdict is Verdict.DEGRADATION
+        assert report.to_json()["verdict"] == "degradation"
+
+
+class TestGuards:
+    def test_baseline_spec_rejected(self):
+        with pytest.raises(PGOError, match="baseline"):
+            pgo_cycle(_program(), ProfileSpec(mode="baseline"))
+
+    def test_no_profile_source_rejected(self):
+        with pytest.raises(PGOError, match="live spec or a stored run"):
+            pgo_cycle(_program())
+
+    def test_run_ref_requires_store(self):
+        with pytest.raises(PGOError, match="store"):
+            pgo_cycle(_program(), run_ref="latest")
+
+    def test_foreign_profile_rejected(self, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        session = ProfileSession()
+        session.run(SPEC, _program(), (), store=store, workload="w")
+        mutated = compile_source(SOURCE.replace("j < 40", "j < 41"))
+        with pytest.raises(PGOError, match="fingerprints"):
+            pgo_cycle(mutated, store=store, run_ref="latest")
+
+
+class TestStoredRuns:
+    def test_stored_run_drives_the_cycle(self, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        session = ProfileSession()
+        run = session.run(SPEC, _program(), (), store=store, workload="w")
+        report = pgo_cycle(
+            _program(), store=store, run_ref="latest", session=session
+        )
+        assert report.profile_source == run.stored_as
+        assert report.workload == "w"  # inherited from the stored run
+        assert report.architectural_match
+        live = pgo_cycle(_program(), SPEC, session=session)
+        assert report.optimized_counters == live.optimized_counters
+
+    def test_save_persists_same_code_lineage(self, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        first = pgo_cycle(
+            _program(), SPEC, store=store, workload="w", save=True
+        )
+        assert first.baseline_stored_as and first.optimized_stored_as
+        opt1 = store.load(first.optimized_stored_as)
+        # The optimized program is new code: no same-code ancestor yet,
+        # though the cross-code baseline (the unoptimized run) exists.
+        assert store.baseline_for(opt1, same_code=True) is None
+        assert (
+            store.baseline_for(opt1).run_id == first.baseline_stored_as
+        )
+        # A byte-identical re-measurement dedupes to the same run ids
+        # (content addressing), so to extend the lineage the cycle must
+        # measure something new: the same code on a tiny I-cache, where
+        # even this program thrashes and the counters change.
+        again = pgo_cycle(
+            _program(), SPEC, store=store, workload="w", save=True
+        )
+        assert again.baseline_stored_as == first.baseline_stored_as
+        assert again.optimized_stored_as == first.optimized_stored_as
+        second = pgo_cycle(
+            _program(),
+            SPEC,
+            store=store,
+            workload="w",
+            save=True,
+            session=ProfileSession(
+                config=MachineConfig(icache_size=64, icache_assoc=1)
+            ),
+        )
+        base2 = store.load(second.baseline_stored_as)
+        opt2 = store.load(second.optimized_stored_as)
+        # same_code=True walks each fingerprint's own lineage...
+        assert (
+            store.baseline_for(base2, same_code=True).run_id
+            == first.baseline_stored_as
+        )
+        assert (
+            store.baseline_for(opt2, same_code=True).run_id
+            == first.optimized_stored_as
+        )
+        # ...while the default filter sees the most recent earlier run.
+        assert store.baseline_for(opt2).run_id == second.baseline_stored_as
+
+
+class TestAcceptance:
+    def test_loop_workload_optimizes_on_constrained_machine(self):
+        program = build_workload("132.ijpeg", 0.5)
+        session = ProfileSession(config=constrained_config())
+        report = pgo_cycle(
+            program,
+            SPEC,
+            session=session,
+            plan=OptPlan(),
+            workload="132.ijpeg",
+        )
+        assert report.architectural_match
+        assert report.verdict is Verdict.OPTIMIZATION
+        assert (
+            report.optimized_counters[Event.IC_MISS]
+            < report.baseline_counters[Event.IC_MISS]
+        )
+        assert report.pipeline.changed

@@ -216,6 +216,25 @@ class TestRefs:
         assert store.baseline_for(store.load(ids[0])) is None
         assert store.baseline_for(store.load(ids[1])) is None
 
+    def test_baseline_for_same_code_walks_one_lineage(self, tmp_path):
+        from repro.machine.counters import Event
+
+        store = ProfileStore(str(tmp_path))
+        ids = [
+            store.save_record(
+                _record({Event.INSTRS: count}, workload="a", fingerprint=fp)
+            )
+            for count, fp in ((1, "f" * 64), (2, "e" * 64), (3, "f" * 64))
+        ]
+        latest = store.load(ids[2])
+        # Default: the gate compares across code versions — nearest
+        # earlier run wins regardless of fingerprint.
+        assert store.baseline_for(latest).run_id == ids[1]
+        # same_code=True: the PGO lineage — skip the foreign-code run.
+        assert store.baseline_for(latest, same_code=True).run_id == ids[0]
+        middle = store.load(ids[1])
+        assert store.baseline_for(middle, same_code=True) is None
+
 
 class TestSessionSink:
     SOURCE = """
